@@ -1,0 +1,54 @@
+"""E13 -- device portability sweep (the paper's future work, Section VI):
+"we plan to evaluate our SpGEMM algorithm on other many-core processors
+such as AMD Radeon GPU ... Our algorithm should work well on AMD Radeon
+GPU since the architecture is similar to NVIDIA GPUs."
+
+Runs the proposal and the best baseline on three device models -- the
+paper's P100, the previous-generation K40 and a Vega-class AMD part --
+over a representative matrix pair.  The group table regenerates per
+device (Table I is derived, not transcribed).
+"""
+
+from repro.bench.datasets import get_dataset
+from repro.bench.runner import run_one
+from repro.core.params import build_group_table
+from repro.gpu.device import K40, P100, VEGA56
+
+from benchmarks.conftest import run_once
+
+DEVICES = {"P100": P100, "K40": K40, "Vega56": VEGA56}
+MATRICES = ("FEM/Spheres", "Epidemiology")
+
+
+def test_device_sweep(benchmark, show):
+    def sweep():
+        out = {}
+        for mname in MATRICES:
+            ds = get_dataset(mname)
+            for dname, dev in DEVICES.items():
+                for alg in ("cusparse", "proposal"):
+                    out[(mname, dname, alg)] = run_one(ds, alg, "single",
+                                                       device=dev)
+        return out
+
+    results = run_once(benchmark, sweep)
+
+    lines = [f"{'Matrix':<14}{'Device':<10}{'cusparse':>10}{'proposal':>10}"
+             f"{'speedup':>9}   [GFLOPS, single]"]
+    for mname in MATRICES:
+        for dname in DEVICES:
+            cs = results[(mname, dname, "cusparse")].gflops
+            ours = results[(mname, dname, "proposal")].gflops
+            lines.append(f"{mname:<14}{dname:<10}{cs:>10.3f}{ours:>10.3f}"
+                         f"{'x%.2f' % (ours / cs):>9}")
+    show("Device sweep (P100 / K40 / Vega56)", "\n".join(lines))
+
+    show("Group table derived for Vega56", build_group_table(VEGA56).render())
+
+    # the proposal wins on every device, and the P100 outruns the K40
+    for mname in MATRICES:
+        for dname in DEVICES:
+            assert results[(mname, dname, "proposal")].gflops \
+                > results[(mname, dname, "cusparse")].gflops, (mname, dname)
+        assert results[(mname, "P100", "proposal")].gflops \
+            > results[(mname, "K40", "proposal")].gflops

@@ -1,0 +1,42 @@
+"""E3 -- Figure 3: SpGEMM performance, double precision, 12 matrices.
+
+Same layout as Figure 2; the paper quotes "x28.7, x8.7 and x4.4 on
+maximum ... x15.1, x3.3 and x2.2 on average" against CUSP, cuSPARSE and
+BHSPARSE, and notes the trend matches single precision.
+"""
+
+from repro.bench.datasets import HIGH_THROUGHPUT, LOW_THROUGHPUT
+from repro.bench.runner import gflops_table, run_suite, speedup_stats
+
+from benchmarks.conftest import run_once
+
+
+def test_fig3_spgemm_double_precision(benchmark, show):
+    runs = run_once(benchmark, lambda: run_suite(
+        HIGH_THROUGHPUT + LOW_THROUGHPUT, precisions=("double",)))
+
+    high = [r for r in runs if r.dataset in HIGH_THROUGHPUT]
+    low = [r for r in runs if r.dataset in LOW_THROUGHPUT]
+    show("Figure 3a: High-Throughput Matrices [GFLOPS, double]",
+         gflops_table(high))
+    show("Figure 3b: Low-Throughput Matrices [GFLOPS, double]",
+         gflops_table(low))
+    stats = speedup_stats(runs)
+    show("Speedup of the proposal (paper: max x28.7/x8.7/x4.4, "
+         "avg x15.1/x3.3/x2.2)",
+         "\n".join(f"vs {b:<9} max x{mx:5.1f}   geomean x{gm:4.2f}"
+                   for b, (mx, gm) in stats.items()))
+
+    by_key = {(r.dataset, r.algorithm): r.gflops for r in runs}
+    for ds in HIGH_THROUGHPUT + LOW_THROUGHPUT:
+        ours = by_key[(ds, "proposal")]
+        best_base = max(by_key[(ds, a)] for a in ("cusp", "cusparse",
+                                                  "bhsparse"))
+        assert ours > best_base, ds
+
+    # double precision is slower than single for the proposal
+    single = run_suite(["Protein"], algorithms=("proposal",),
+                       precisions=("single",))[0]
+    double = next(r for r in runs
+                  if r.dataset == "Protein" and r.algorithm == "proposal")
+    assert double.gflops < single.gflops

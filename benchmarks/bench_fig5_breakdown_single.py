@@ -1,0 +1,36 @@
+"""E6 -- Figure 5: execution-time breakdown vs cuSPARSE, single precision.
+
+For every matrix, the per-phase times (setup / count / calc / cudaMalloc)
+of cuSPARSE and the proposal, normalized so cuSPARSE's total is 1.0 --
+the format of the paper's stacked bars.  Expected shape (Section IV-C):
+the proposal's gain concentrates in *calc*; *setup* is negligible for
+most matrices; *malloc* is a visible share for the sparse, regular
+matrices (Epidemiology).
+"""
+
+from repro.bench.datasets import DATASETS
+from repro.bench.runner import breakdown_table, run_suite
+
+from benchmarks.conftest import run_once
+
+
+def test_fig5_breakdown_single(benchmark, show):
+    runs = run_once(benchmark, lambda: run_suite(
+        list(DATASETS), algorithms=("cusparse", "proposal"),
+        precisions=("single",)))
+    show("Figure 5: phase breakdown normalized to cuSPARSE = 1 (single)",
+         breakdown_table(runs))
+
+    by_key = {(r.dataset, r.algorithm): r.report for r in runs}
+    for name in DATASETS:
+        ours = by_key[(name, "proposal")]
+        base = by_key[(name, "cusparse")]
+        # proposal finishes ahead of cuSPARSE overall
+        assert ours.total_seconds < base.total_seconds, name
+        # and the calc phase specifically shrinks on high-throughput inputs
+        if DATASETS[name].category == "high":
+            assert ours.phase_seconds["calc"] < base.phase_seconds["calc"]
+
+    # Epidemiology: malloc is a considerable share of the proposal's time
+    epi = by_key[("Epidemiology", "proposal")]
+    assert epi.phase_fraction("malloc") > 0.10

@@ -1,0 +1,28 @@
+"""E7 -- Figure 6: execution-time breakdown vs cuSPARSE, double precision.
+
+Same format as Figure 5; double precision lowers numeric-phase occupancy
+(12-byte hash entries) so the calc share grows relative to Figure 5.
+"""
+
+from repro.bench.datasets import DATASETS
+from repro.bench.runner import breakdown_table, run_suite
+
+from benchmarks.conftest import run_once
+
+
+def test_fig6_breakdown_double(benchmark, show):
+    runs = run_once(benchmark, lambda: run_suite(
+        list(DATASETS), algorithms=("cusparse", "proposal"),
+        precisions=("double",)))
+    show("Figure 6: phase breakdown normalized to cuSPARSE = 1 (double)",
+         breakdown_table(runs))
+
+    by_key = {(r.dataset, r.algorithm): r.report for r in runs}
+    for name in DATASETS:
+        assert by_key[(name, "proposal")].total_seconds \
+            < by_key[(name, "cusparse")].total_seconds, name
+
+    # every proposal run decomposes exactly into the four phases
+    for (name, alg), report in by_key.items():
+        total = sum(report.phase_seconds.values())
+        assert abs(total - report.total_seconds) < 1e-12

@@ -1,0 +1,18 @@
+"""E1 -- Table I: per-group kernel parameters on the Tesla P100.
+
+Regenerates the paper's Table I from the device specification alone and
+prints it next to the expected values.  The unit tests assert exact
+equality; this benchmark records the (tiny) cost of the derivation.
+"""
+
+from repro.core.params import build_group_table
+from repro.gpu.device import P100
+
+from benchmarks.conftest import run_once
+
+
+def test_table1_generation(benchmark, show):
+    table = run_once(benchmark, lambda: build_group_table(P100))
+    show("Table I (generated from the P100 spec)", table.render())
+    assert len(table) == 7
+    assert table.max_shared_table_numeric == 4096

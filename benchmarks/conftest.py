@@ -1,0 +1,33 @@
+"""Shared helpers for the benchmark suite.
+
+Every benchmark regenerates one table or figure of the paper.  The
+measured quantity is the *simulated* device time (the paper's FLOPS
+metric: ``2 x intermediate products / time``); pytest-benchmark wraps each
+experiment once (``rounds=1``) because the simulation is deterministic --
+repeated rounds would only re-measure Python overhead.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Each benchmark prints the rows/series of its paper artifact; compare with
+EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def run_once(benchmark, fn):
+    """Benchmark a deterministic simulation exactly once and return it."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)
+
+
+@pytest.fixture(scope="session")
+def show():
+    """Print a titled block into the captured benchmark output."""
+    def _show(title: str, body: str) -> None:
+        print(f"\n==== {title} ====")
+        print(body)
+    return _show

@@ -1,0 +1,58 @@
+#!/usr/bin/env python
+"""Algebraic multigrid setup on SpGEMM -- the paper's headline application.
+
+Section I motivates SpGEMM as the kernel of AMG preconditioner setup: the
+coarse-level operator is the Galerkin triple product ``A_c = R A P``,
+computed here with the paper's hash SpGEMM.  The script:
+
+1. builds a 2-D Poisson problem (five-point Laplacian),
+2. constructs an aggregation prolongation P,
+3. computes the Galerkin product with each SpGEMM algorithm and reports
+   the simulated setup cost,
+4. solves the system with the resulting two-level V-cycle and compares
+   iteration counts against plain damped Jacobi.
+
+Run:  python examples/amg_galerkin.py
+"""
+
+import numpy as np
+
+from repro.apps.amg import TwoLevelAMG, aggregate_poisson, galerkin_product, jacobi_solve
+from repro.sparse.generators import poisson2d
+
+
+def main() -> None:
+    n = 48                               # 48 x 48 grid -> 2304 unknowns
+    A = poisson2d(n)
+    P = aggregate_poisson(n, block=4)    # 12 x 12 coarse grid
+    print(f"fine operator : {A.n_rows:,} unknowns, {A.nnz:,} nonzeros")
+    print(f"prolongation  : {P.shape[0]:,} -> {P.shape[1]:,} aggregates\n")
+
+    print("Galerkin product R*A*P per SpGEMM algorithm "
+          "(simulated P100 time):")
+    for algorithm in ("cusp", "cusparse", "bhsparse", "proposal"):
+        Ac, reports = galerkin_product(A, P, algorithm=algorithm)
+        setup_us = sum(r.total_seconds for r in reports) * 1e6
+        print(f"  {algorithm:<10} coarse nnz {Ac.nnz:>6,}   "
+              f"setup {setup_us:8.1f} us")
+    print()
+
+    # solve A x = b with the two-level cycle vs plain Jacobi
+    rng = np.random.default_rng(7)
+    x_true = rng.random(A.n_rows)
+    b = A.matvec(x_true)
+
+    amg = TwoLevelAMG(A, P, algorithm="proposal")
+    x_amg, cycles = amg.solve(b, tol=1e-8)
+    x_jac, iters = jacobi_solve(A, b, tol=1e-8, max_iters=20000)
+
+    err_amg = np.linalg.norm(x_amg - x_true) / np.linalg.norm(x_true)
+    err_jac = np.linalg.norm(x_jac - x_true) / np.linalg.norm(x_true)
+    print(f"two-level AMG : {cycles:>6,} V-cycles   (rel. error {err_amg:.2e})")
+    print(f"damped Jacobi : {iters:>6,} iterations (rel. error {err_jac:.2e})")
+    print(f"\nAMG converges in {iters / max(1, cycles):.0f}x fewer sweeps; "
+          "its setup cost is exactly the SpGEMM the paper accelerates.")
+
+
+if __name__ == "__main__":
+    main()

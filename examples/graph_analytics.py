@@ -1,0 +1,62 @@
+#!/usr/bin/env python
+"""Graph analytics on SpGEMM: triangles, 2-hop neighborhoods, clustering.
+
+The paper's second motivating domain (Section I): "graph algorithms such
+as graph clustering and breadth-first search compute matrix multiplication
+of sparse matrices".  This script runs three of them on an RMAT graph:
+
+* triangle counting via ``trace(A^3)/6`` (one SpGEMM + masked sum),
+* 2-hop reachability via ``A^2`` (BFS level expansion),
+* Markov clustering iterations (expansion = SpGEMM, inflation, pruning).
+
+Run:  python examples/graph_analytics.py
+"""
+
+import numpy as np
+
+import repro
+from repro.apps.graph import (column_stochastic, markov_cluster_step,
+                              squared_neighborhood, symmetrize,
+                              triangle_count)
+from repro.sparse.generators import rmat
+
+
+def main() -> None:
+    G = symmetrize(rmat(11, 8, rng=123))     # 2048 vertices, power-law
+    deg = G.row_nnz()
+    print(f"graph: {G.n_rows:,} vertices, {G.nnz // 2:,} edges, "
+          f"max degree {int(deg.max())}, mean {deg.mean():.1f}\n")
+
+    # --- triangles ---------------------------------------------------
+    tris = triangle_count(G, algorithm="proposal")
+    print(f"triangles: {tris:,}")
+
+    # --- 2-hop neighborhoods ------------------------------------------
+    two_hop = squared_neighborhood(G, algorithm="proposal")
+    reach = two_hop.row_nnz()
+    print(f"2-hop neighborhoods: mean {reach.mean():.1f} vertices, "
+          f"max {int(reach.max())}")
+
+    # the SpGEMM behind it, timed on the simulated device per algorithm
+    print("\nA^2 cost per algorithm (simulated P100, single precision):")
+    for algorithm in ("cusp", "cusparse", "bhsparse", "proposal"):
+        r = repro.spgemm(G, G, algorithm=algorithm, precision="single",
+                         matrix_name="rmat11")
+        print(f"  {algorithm:<10} {r.report.gflops:7.2f} GFLOPS   "
+              f"{r.report.total_seconds * 1e3:7.3f} ms   "
+              f"peak {r.report.peak_bytes / 2**20:7.1f} MiB")
+
+    # --- Markov clustering --------------------------------------------
+    print("\nMarkov clustering (expansion via hash SpGEMM):")
+    M = column_stochastic(G)
+    for step in range(1, 7):
+        M = markov_cluster_step(M, inflation=2.0, algorithm="proposal")
+        attractors = int((M.to_coo().row == M.to_coo().col).sum())
+        print(f"  step {step}: {M.nnz:>8,} nonzeros, "
+              f"{attractors:>5,} attractor loops")
+    print("\nthe iteration sparsifies toward cluster attractors -- each "
+          "step is one SpGEMM of the kind the paper accelerates")
+
+
+if __name__ == "__main__":
+    main()

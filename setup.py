@@ -1,0 +1,6 @@
+"""Legacy setup shim: this offline environment lacks the `wheel` package
+PEP 660 editable installs need, so `pip install -e .` goes through the
+classic `setup.py develop` path.  All metadata lives in pyproject.toml."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,94 @@
+"""repro -- reproduction of Nagasaka, Nukada & Matsuoka (ICPP 2017):
+"High-Performance and Memory-Saving Sparse General Matrix-Matrix
+Multiplication for NVIDIA Pascal GPU".
+
+The package implements the paper's hash-table SpGEMM (*nsparse*) and the
+three baselines it compares against (CUSP's ESC, a cuSPARSE-style
+two-phase hash, BHSPARSE's bin hybrid) on a simulated Pascal-class device
+model -- functionally exact sparse results plus a documented performance
+and memory model.  See DESIGN.md for the substitution rationale.
+
+Quick start::
+
+    import repro
+    A = repro.generators.poisson2d(128)
+    result = repro.spgemm(A, A, algorithm="proposal", precision="double")
+    print(result.report.summary())
+"""
+
+from repro import sparse
+from repro.base import SpGEMMAlgorithm, SpGEMMResult
+from repro.core.params import build_group_table
+from repro.core.spgemm import HashSpGEMM, hash_spgemm
+from repro.errors import (
+    AlgorithmError,
+    DeviceConfigError,
+    DeviceMemoryError,
+    HashTableError,
+    ReproError,
+    SchedulerError,
+    ShapeMismatchError,
+    SparseFormatError,
+)
+from repro.gpu.device import K40, P100, VEGA56, DeviceSpec
+from repro.gpu.timeline import SimReport
+from repro.sparse import generators
+from repro.sparse.coo import COOMatrix
+from repro.sparse.csr import CSRMatrix
+from repro.sparse.reference import spgemm_reference
+from repro.types import Precision
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "COOMatrix",
+    "CSRMatrix",
+    "DeviceSpec",
+    "HashSpGEMM",
+    "K40",
+    "P100",
+    "Precision",
+    "SimReport",
+    "SpGEMMAlgorithm",
+    "SpGEMMResult",
+    "VEGA56",
+    "algorithms",
+    "build_group_table",
+    "generators",
+    "hash_spgemm",
+    "spgemm",
+    "spgemm_reference",
+    "sparse",
+    # errors
+    "AlgorithmError",
+    "DeviceConfigError",
+    "DeviceMemoryError",
+    "HashTableError",
+    "ReproError",
+    "SchedulerError",
+    "ShapeMismatchError",
+    "SparseFormatError",
+]
+
+
+def algorithms() -> dict[str, type[SpGEMMAlgorithm]]:
+    """Registry of available SpGEMM algorithms by name."""
+    from repro.baselines.registry import ALGORITHMS
+
+    return dict(ALGORITHMS)
+
+
+def spgemm(A: CSRMatrix, B: CSRMatrix, *, algorithm: str = "proposal",
+           precision: Precision | str = Precision.DOUBLE, device: DeviceSpec = P100,
+           matrix_name: str = "", **options) -> SpGEMMResult:
+    """Multiply two CSR matrices with a named algorithm.
+
+    ``algorithm`` is one of :func:`algorithms` ('proposal', 'cusparse',
+    'cusp', 'bhsparse'); extra keyword options go to the algorithm's
+    constructor (e.g. ``use_streams=False`` for the proposal).
+    """
+    from repro.baselines.registry import create
+
+    algo = create(algorithm, **options)
+    return algo.multiply(A, B, precision=precision, device=device,
+                         matrix_name=matrix_name)

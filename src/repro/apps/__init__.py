@@ -1,0 +1,22 @@
+"""SpGEMM consumers: the applications the paper's introduction motivates.
+
+The paper positions SpGEMM as the kernel of algebraic-multigrid setup and
+of graph algorithms (Section I).  These modules implement small but real
+versions of both on top of the public SpGEMM API, and are exercised by the
+example scripts and the integration tests.
+"""
+
+from repro.apps.amg import TwoLevelAMG, aggregate_poisson, galerkin_product
+from repro.apps.graph import markov_cluster_step, squared_neighborhood, triangle_count
+from repro.apps.solver import amg_preconditioned_cg, conjugate_gradient
+
+__all__ = [
+    "TwoLevelAMG",
+    "aggregate_poisson",
+    "amg_preconditioned_cg",
+    "conjugate_gradient",
+    "galerkin_product",
+    "markov_cluster_step",
+    "squared_neighborhood",
+    "triangle_count",
+]

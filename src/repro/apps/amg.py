@@ -1,0 +1,139 @@
+"""Two-level algebraic multigrid built on SpGEMM (the paper's headline
+application: AMG setup computes Galerkin triple products R A P).
+
+A deliberately small but genuine AMG: aggregation-based coarsening for
+grid Laplacians, piecewise-constant prolongation, Galerkin coarse operator
+via two SpGEMM calls, damped-Jacobi smoothing, and a dense direct solve on
+the coarse level.  The example script shows the two-level cycle beating
+plain Jacobi by an order of magnitude in iterations on a 2-D Poisson
+problem -- with the coarse operator produced by the paper's hash SpGEMM.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ShapeMismatchError
+from repro.sparse.csr import CSRMatrix
+from repro.types import INDEX_DTYPE, Precision
+
+
+def aggregate_poisson(n_grid: int, block: int = 2) -> CSRMatrix:
+    """Piecewise-constant prolongation for an ``n_grid x n_grid`` mesh.
+
+    Aggregates ``block x block`` patches of grid points into one coarse
+    variable; returns P of shape ``(n_grid**2, n_coarse)`` with unit
+    entries.
+    """
+    if n_grid % block:
+        raise ShapeMismatchError(
+            f"grid of {n_grid} points does not tile with block {block}")
+    nc_side = n_grid // block
+    idx = np.arange(n_grid * n_grid, dtype=np.int64)
+    ix, iy = idx % n_grid, idx // n_grid
+    agg = (iy // block) * nc_side + (ix // block)
+    rpt = np.arange(n_grid * n_grid + 1, dtype=INDEX_DTYPE)
+    return CSRMatrix(rpt, agg.astype(INDEX_DTYPE),
+                     np.ones(n_grid * n_grid, dtype=np.float64),
+                     (n_grid * n_grid, nc_side * nc_side), check=False)
+
+
+def galerkin_product(A: CSRMatrix, P: CSRMatrix, *,
+                     algorithm: str = "proposal",
+                     precision: Precision | str = Precision.DOUBLE):
+    """Coarse operator ``A_c = P^T (A P)`` via two SpGEMM calls.
+
+    Returns ``(A_c, [report_AP, report_RAP])`` -- the simulated reports let
+    callers attribute AMG setup cost to the SpGEMM kernel, as the paper's
+    motivation does.
+    """
+    from repro import spgemm
+
+    ap = spgemm(A, P, algorithm=algorithm, precision=precision,
+                matrix_name="A*P")
+    r = P.transpose()
+    rap = spgemm(r, ap.matrix, algorithm=algorithm, precision=precision,
+                 matrix_name="R*(AP)")
+    return rap.matrix, [ap.report, rap.report]
+
+
+class TwoLevelAMG:
+    """Two-level V-cycle preconditioned Richardson solver.
+
+    Parameters
+    ----------
+    A:
+        Fine-level SPD operator (e.g. a Poisson matrix).
+    P:
+        Prolongation; the coarse operator is built with ``algorithm``.
+    omega:
+        Damping of the Jacobi smoother.
+    """
+
+    def __init__(self, A: CSRMatrix, P: CSRMatrix, *,
+                 algorithm: str = "proposal", omega: float = 0.8,
+                 pre_smooth: int = 1, post_smooth: int = 1) -> None:
+        self.A = A
+        self.P = P
+        self.R = P.transpose()
+        self.omega = omega
+        self.pre_smooth = pre_smooth
+        self.post_smooth = post_smooth
+        self.Ac, self.setup_reports = galerkin_product(A, P,
+                                                       algorithm=algorithm)
+        self._coarse_dense = self.Ac.to_dense().astype(np.float64)
+        self._diag = self._extract_diag(A)
+
+    @staticmethod
+    def _extract_diag(A: CSRMatrix) -> np.ndarray:
+        diag = np.zeros(A.n_rows)
+        for i in range(A.n_rows):
+            cols, vals = A.row_slice(i)
+            hit = np.flatnonzero(cols == i)
+            if hit.size:
+                diag[i] = vals[hit[0]]
+        if np.any(diag == 0):
+            raise ShapeMismatchError("AMG smoother requires a nonzero diagonal")
+        return diag
+
+    def _smooth(self, x: np.ndarray, b: np.ndarray, sweeps: int) -> np.ndarray:
+        for _ in range(sweeps):
+            x = x + self.omega * (b - self.A.matvec(x)) / self._diag
+        return x
+
+    def cycle(self, b: np.ndarray, x: np.ndarray | None = None) -> np.ndarray:
+        """One two-level V-cycle for ``A x = b``."""
+        x = np.zeros_like(b) if x is None else x
+        x = self._smooth(x, b, self.pre_smooth)
+        residual = b - self.A.matvec(x)
+        coarse_rhs = self.R.matvec(residual)
+        coarse_x = np.linalg.solve(self._coarse_dense, coarse_rhs)
+        x = x + self.P.matvec(coarse_x)
+        return self._smooth(x, b, self.post_smooth)
+
+    def solve(self, b: np.ndarray, *, tol: float = 1e-8,
+              max_cycles: int = 200) -> tuple[np.ndarray, int]:
+        """Iterate V-cycles until the relative residual drops below ``tol``.
+
+        Returns ``(solution, cycles_used)``.
+        """
+        x = np.zeros_like(b)
+        bnorm = float(np.linalg.norm(b)) or 1.0
+        for k in range(1, max_cycles + 1):
+            x = self.cycle(b, x)
+            if np.linalg.norm(b - self.A.matvec(x)) / bnorm < tol:
+                return x, k
+        return x, max_cycles
+
+
+def jacobi_solve(A: CSRMatrix, b: np.ndarray, *, omega: float = 0.8,
+                 tol: float = 1e-8, max_iters: int = 20000) -> tuple[np.ndarray, int]:
+    """Plain damped Jacobi, the baseline the AMG example compares against."""
+    diag = TwoLevelAMG._extract_diag(A)
+    x = np.zeros_like(b)
+    bnorm = float(np.linalg.norm(b)) or 1.0
+    for k in range(1, max_iters + 1):
+        x = x + omega * (b - A.matvec(x)) / diag
+        if np.linalg.norm(b - A.matvec(x)) / bnorm < tol:
+            return x, k
+    return x, max_iters

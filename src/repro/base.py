@@ -1,0 +1,162 @@
+"""Common SpGEMM algorithm interface and the per-run simulation context.
+
+Every algorithm -- the paper's proposal and the three baselines -- derives
+from :class:`SpGEMMAlgorithm` and drives a :class:`RunContext`, which owns
+the simulated clock, the device-memory allocator, the phase breakdown and
+the kernel records.  The context enforces a uniform accounting discipline:
+*all* device time comes from the scheduler or the malloc model, and *all*
+device memory goes through the tracked allocator.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+from repro.errors import ShapeMismatchError
+from repro.gpu.device import P100, DeviceSpec
+from repro.gpu.kernel import KernelLaunch
+from repro.gpu.memory import Allocation, DeviceMemory
+from repro.gpu.scheduler import simulate_phase
+from repro.gpu.timeline import PHASES, KernelRecord, SimReport
+from repro.sparse.csr import CSRMatrix
+from repro.types import Precision
+
+
+@dataclass
+class SpGEMMResult:
+    """Output of one simulated SpGEMM run."""
+
+    matrix: CSRMatrix
+    report: SimReport
+
+
+class RunContext:
+    """Clock + memory + timeline for one algorithm run."""
+
+    def __init__(self, algorithm: str, matrix_name: str, device: DeviceSpec,
+                 precision: Precision, *, charge_time: bool = True) -> None:
+        self.algorithm = algorithm
+        self.matrix_name = matrix_name
+        self.device = device
+        self.precision = precision
+        self.memory = DeviceMemory(device, charge_time=charge_time)
+        self.clock = 0.0
+        self.phase_seconds: dict[str, float] = {p: 0.0 for p in PHASES}
+        self.kernels: list[KernelRecord] = []
+
+    # -- memory ------------------------------------------------------------
+
+    def alloc(self, name: str, nbytes: int, *, phase: str = "malloc") -> Allocation:
+        """``cudaMalloc``: tracked for peak/OOM and charged to ``phase``.
+
+        The paper's breakdown attributes allocation cost either to 'setup'
+        (working arrays allocated while grouping) or to 'malloc' (the
+        output matrix); pass ``phase`` accordingly.
+        """
+        before = self.memory.malloc_seconds
+        a = self.memory.alloc(name, nbytes)
+        dt = self.memory.malloc_seconds - before
+        self.clock += dt
+        self.phase_seconds[phase] = self.phase_seconds.get(phase, 0.0) + dt
+        return a
+
+    def alloc_resident(self, name: str, nbytes: int) -> Allocation:
+        """Account an input matrix already resident on the device: counts
+        toward peak memory but costs no time."""
+        before_m, before_f = self.memory.malloc_seconds, self.memory.free_seconds
+        a = self.memory.alloc(name, nbytes)
+        # roll back the simulated allocation cost: the data was uploaded
+        # before the measured region, as in the paper's methodology
+        self.memory.malloc_seconds = before_m
+        self.memory.free_seconds = before_f
+        return a
+
+    def free(self, allocation: Allocation) -> None:
+        """``cudaFree``: charged to the 'malloc' phase."""
+        before = self.memory.free_seconds
+        self.memory.free(allocation)
+        dt = self.memory.free_seconds - before
+        self.clock += dt
+        self.phase_seconds["malloc"] += dt
+
+    # -- kernels -----------------------------------------------------------
+
+    def run(self, phase: str, kernels: list[KernelLaunch], *,
+            use_streams: bool = True) -> float:
+        """Simulate ``kernels`` (concurrently, stream-aware) and advance the
+        clock; the sub-phase's wall time is charged to ``phase``."""
+        if not kernels:
+            return 0.0
+        sched = simulate_phase(kernels, self.device, self.precision,
+                               start_time=self.clock, use_streams=use_streams)
+        dt = sched.end - self.clock
+        self.clock = sched.end
+        self.phase_seconds[phase] = self.phase_seconds.get(phase, 0.0) + dt
+        self.kernels.extend(sched.records)
+        return dt
+
+    def host_sync(self, phase: str, seconds: float = 10e-6) -> None:
+        """A host-device synchronization (e.g. reading a count back to size
+        an allocation).  Every real library in the comparison has at least
+        one between its phases; charged to ``phase``."""
+        self.clock += seconds
+        self.phase_seconds[phase] = self.phase_seconds.get(phase, 0.0) + seconds
+
+    # -- report ------------------------------------------------------------
+
+    def report(self, *, n_products: int, nnz_out: int) -> SimReport:
+        """Finalize the run into a :class:`SimReport`."""
+        return SimReport(
+            algorithm=self.algorithm,
+            matrix=self.matrix_name,
+            precision=self.precision.value,
+            device=self.device.name,
+            n_products=int(n_products),
+            nnz_out=int(nnz_out),
+            total_seconds=self.clock,
+            phase_seconds=dict(self.phase_seconds),
+            peak_bytes=self.memory.peak,
+            malloc_count=self.memory.n_allocs,
+            kernels=self.kernels,
+        )
+
+
+class SpGEMMAlgorithm(abc.ABC):
+    """Interface shared by the proposal and the baselines."""
+
+    #: short identifier used in benchmark tables ('proposal', 'cusp', ...)
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def multiply(self, A: CSRMatrix, B: CSRMatrix, *,
+                 precision: Precision | str = Precision.DOUBLE,
+                 device: DeviceSpec = P100,
+                 matrix_name: str = "") -> SpGEMMResult:
+        """Compute ``C = A @ B`` functionally and return it with the
+        simulated performance report.
+
+        Raises :class:`~repro.errors.DeviceMemoryError` when the
+        algorithm's working set exceeds the device (Table III's "-").
+        """
+
+    # -- shared helpers ------------------------------------------------------
+
+    @staticmethod
+    def _prepare(A: CSRMatrix, B: CSRMatrix,
+                 precision: Precision | str) -> tuple[CSRMatrix, CSRMatrix, Precision]:
+        """Validate shapes and cast operands to the requested precision."""
+        if A.n_cols != B.n_rows:
+            raise ShapeMismatchError(
+                f"cannot multiply {A.shape} by {B.shape}")
+        p = Precision.parse(precision)
+        if A.dtype != p.value_dtype:
+            A = A.astype(p)
+        if B.dtype != p.value_dtype:
+            B = B.astype(p)
+        return A, B, p
+
+    def context(self, matrix_name: str, device: DeviceSpec,
+                precision: Precision) -> RunContext:
+        """Fresh accounting context for one run."""
+        return RunContext(self.name, matrix_name or "matrix", device, precision)

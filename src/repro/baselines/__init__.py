@@ -1,0 +1,26 @@
+"""Baseline SpGEMM algorithms the paper compares against (Section IV).
+
+* :mod:`repro.baselines.esc` -- CUSP's expand-sort-contract (Bell et al.).
+* :mod:`repro.baselines.cusparse_like` -- cuSPARSE's two-phase hash with
+  shared tables falling through to global memory (Demouth), warp-per-row,
+  no grouping.
+* :mod:`repro.baselines.bhsparse` -- BHSPARSE's 38-bin hybrid (Liu &
+  Vinter): heap / bitonic-ESC / merge-path per bin.
+
+All three produce functionally exact results (the same cached product as
+the proposal) and differ only in their kernel plans and allocation
+patterns, which is what the paper's figures measure.
+"""
+
+from repro.baselines.bhsparse import BHSparseSpGEMM
+from repro.baselines.cusparse_like import CuSparseSpGEMM
+from repro.baselines.esc import ESCSpGEMM
+from repro.baselines.registry import ALGORITHMS, create
+
+__all__ = [
+    "ALGORITHMS",
+    "BHSparseSpGEMM",
+    "CuSparseSpGEMM",
+    "ESCSpGEMM",
+    "create",
+]

@@ -1,0 +1,36 @@
+"""Name -> algorithm registry used by :func:`repro.spgemm`."""
+
+from __future__ import annotations
+
+from repro.base import SpGEMMAlgorithm
+from repro.baselines.bhsparse import BHSparseSpGEMM
+from repro.baselines.cusparse_like import CuSparseSpGEMM
+from repro.baselines.esc import ESCSpGEMM
+from repro.core.spgemm import HashSpGEMM
+from repro.errors import AlgorithmError
+
+#: All available algorithms, keyed by their benchmark-table names.
+ALGORITHMS: dict[str, type[SpGEMMAlgorithm]] = {
+    "proposal": HashSpGEMM,
+    "cusparse": CuSparseSpGEMM,
+    "cusp": ESCSpGEMM,
+    "bhsparse": BHSparseSpGEMM,
+}
+
+#: Display order used by the benchmark tables (matches the paper's figures).
+DISPLAY_ORDER = ("cusp", "cusparse", "bhsparse", "proposal")
+
+
+def create(name: str, **options) -> SpGEMMAlgorithm:
+    """Instantiate an algorithm by registry name.
+
+    Raises :class:`AlgorithmError` for unknown names; keyword options are
+    forwarded to the algorithm constructor (only the proposal takes any).
+    """
+    try:
+        cls = ALGORITHMS[name]
+    except KeyError:
+        raise AlgorithmError(
+            f"unknown algorithm {name!r}; available: {sorted(ALGORITHMS)}"
+        ) from None
+    return cls(**options)

@@ -1,0 +1,187 @@
+"""Full-scale analytic peak-memory model (Figure 4 and Table III OOM).
+
+The scaled instances are small enough for the CPU substrate; memory,
+however, is evaluated at the *paper's* scale so the Figure 4 ratios and
+the Table III out-of-memory entries ("-") are judged against the real
+16 GB P100 budget.
+
+For every algorithm the function replays the exact allocation sequence of
+the corresponding ``multiply`` implementation, but over synthetic
+*full-scale per-row arrays*: the instance's per-row distributions are
+tiled out to the paper's row count and rescaled so the totals match Table
+II exactly.  A consistency test feeds the *instance* arrays through the
+same replay and asserts bit-equality with the peak measured by actually
+running each algorithm -- so this model cannot silently drift from the
+implementations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines import bhsparse as BH
+from repro.baselines import cusparse_like as CU
+from repro.bench.datasets import Dataset
+from repro.core.numeric import group0_table_entries
+from repro.core.params import build_group_table
+from repro.gpu.device import P100, DeviceSpec
+from repro.types import Precision, next_pow2
+
+
+def scale_rows(per_row: np.ndarray, n_rows_full: int, total_full: int) -> np.ndarray:
+    """Tile an instance per-row distribution to full scale.
+
+    The instance's per-row values are repeated to ``n_rows_full`` entries
+    and multiplicatively rescaled so their sum equals ``total_full``,
+    preserving the distribution's *shape* (the quantity that decides how
+    many rows overflow tables, hit Group 0, or land in BHSPARSE's merge
+    bins).
+    """
+    per_row = np.asarray(per_row, dtype=np.float64)
+    if per_row.shape[0] == 0 or per_row.sum() <= 0:
+        return np.zeros(n_rows_full)
+    reps = -(-n_rows_full // per_row.shape[0])
+    tiled = np.tile(per_row, reps)[:n_rows_full]
+    return tiled * (total_full / tiled.sum())
+
+
+class FullScaleArrays:
+    """Synthetic full-scale per-row statistics of one dataset."""
+
+    def __init__(self, ds: Dataset) -> None:
+        inst = ds.stats()
+        paper = ds.paper
+        self.rows = paper.rows
+        self.nnz = paper.nnz
+        self.nnz_out = paper.nnz_out
+        self.n_products = paper.n_products
+        self.n_cols = paper.rows  # all suite matrices are square
+        self.row_products = scale_rows(inst.row_products, paper.rows,
+                                       paper.n_products)
+        self.row_nnz_out = scale_rows(inst.row_nnz_out, paper.rows,
+                                      paper.nnz_out)
+
+
+def _input_bytes(fs: FullScaleArrays, p: Precision) -> int:
+    return (fs.rows + 1) * 4 + fs.nnz * (4 + p.value_bytes)
+
+
+def _c_bytes(fs: FullScaleArrays, p: Precision) -> int:
+    return (fs.rows + 1) * 4 + fs.nnz_out * (4 + p.value_bytes)
+
+
+def peak_proposal(fs: FullScaleArrays, p: Precision,
+                  device: DeviceSpec = P100) -> int:
+    """Replay of :class:`~repro.core.spgemm.HashSpGEMM`'s allocations."""
+    table = build_group_table(device)
+    base = (_input_bytes(fs, p)
+            + 4 * fs.rows                 # row_products
+            + 4 * fs.rows                 # symbolic group array
+            + 4 * (fs.rows + 1))          # row_nnz
+
+    # symbolic Group-0 retries: rows whose nnz exceeds the shared try table
+    try_table = table.max_shared_table_symbolic
+    failed = fs.row_nnz_out > try_table
+    g0_sym = int(sum(next_pow2(int(v)) for v in fs.row_products[failed]) * 4)
+
+    # numeric Group-0 tables: rows above the largest shared numeric table
+    heavy = fs.row_nnz_out > table.max_shared_table_numeric
+    g0_num = int(group0_table_entries(fs.row_nnz_out[heavy]).sum()
+                 * p.hash_entry_bytes)
+
+    peak_sym = base + g0_sym
+    peak_num = base + _c_bytes(fs, p) + 4 * fs.rows + g0_num
+    return max(peak_sym, peak_num)
+
+
+def peak_cusparse(fs: FullScaleArrays, p: Precision,
+                  device: DeviceSpec = P100) -> int:
+    """Replay of :class:`~repro.baselines.cusparse_like.CuSparseSpGEMM`."""
+    base = _input_bytes(fs, p) + 4 * (fs.rows + 1)
+    ws_sym = CU.CuSparseSpGEMM._workspace_bytes(
+        fs.row_nnz_out, fs.row_products, CU.SYMBOLIC_TABLE, 4,
+        CU.HEAVY_CHUNK_SYMBOLIC)
+    ws_num = CU.CuSparseSpGEMM._workspace_bytes(
+        fs.row_nnz_out, 2 * fs.row_nnz_out, CU.NUMERIC_TABLE,
+        p.hash_entry_bytes, CU.HEAVY_CHUNK_NUMERIC)
+    peak_sym = base + ws_sym
+    peak_num = base + _c_bytes(fs, p) + fs.nnz_out * 4 + ws_num
+    return max(peak_sym, peak_num)
+
+
+def peak_cusp(fs: FullScaleArrays, p: Precision,
+              device: DeviceSpec = P100) -> int:
+    """Replay of :class:`~repro.baselines.esc.ESCSpGEMM`."""
+    from repro.baselines.esc import SORT_SLAB
+
+    triple = 8 + p.value_bytes
+    return (_input_bytes(fs, p)
+            + fs.n_products * triple                        # triple list
+            + min(fs.n_products, SORT_SLAB) * triple       # sort slab
+            + fs.nnz_out * (8 + p.value_bytes)              # COO result
+            + 4 * (fs.rows + 1))
+
+
+def peak_bhsparse(fs: FullScaleArrays, p: Precision,
+                  device: DeviceSpec = P100) -> int:
+    """Replay of :class:`~repro.baselines.bhsparse.BHSparseSpGEMM`."""
+    entry = 4 + p.value_bytes
+    upper = np.minimum(fs.row_products, fs.n_cols)
+    alloc_rows = BH._progressive_alloc_rows(fs.row_products, fs.row_nnz_out)
+    c_ub = int(alloc_rows.sum()) * entry + 4 * (fs.rows + 1)
+    merge_rows = fs.row_products[upper > BH.ESC_LIMIT]
+    merge_buf = 0
+    if merge_rows.shape[0]:
+        live = np.sort(merge_rows)[::-1][:BH.MERGE_CONCURRENCY]
+        merge_buf = int(2 * entry * live.sum())
+    return (_input_bytes(fs, p) + 4 * fs.rows + 8 * fs.rows
+            + c_ub + merge_buf + _c_bytes(fs, p))
+
+
+PEAK_FUNCTIONS = {
+    "proposal": peak_proposal,
+    "cusparse": peak_cusparse,
+    "cusp": peak_cusp,
+    "bhsparse": peak_bhsparse,
+}
+
+
+def full_scale_peak(algorithm: str, ds: Dataset,
+                    precision: Precision | str,
+                    device: DeviceSpec = P100) -> int:
+    """Estimated full-scale peak device memory of one algorithm (bytes)."""
+    p = Precision.parse(precision)
+    return PEAK_FUNCTIONS[algorithm](FullScaleArrays(ds), p, device)
+
+
+def fits_device(algorithm: str, ds: Dataset, precision: Precision | str,
+                device: DeviceSpec = P100) -> bool:
+    """Whether the algorithm's working set fits the device (Table III)."""
+    return full_scale_peak(algorithm, ds, precision, device) \
+        <= device.global_mem_bytes
+
+
+def memory_ratio_table(datasets: list[Dataset], precision: Precision | str,
+                       device: DeviceSpec = P100) -> str:
+    """Figure 4 at full scale: peak memory relative to cuSPARSE."""
+    p = Precision.parse(precision)
+    algs = ("cusp", "cusparse", "bhsparse", "proposal")
+    lines = [f"{'Matrix':<18}" + "".join(f"{a:>12}" for a in algs)
+             + f"{'cuSPARSE MiB':>14}"]
+    ratios = {a: [] for a in algs}
+    for ds in datasets:
+        fs = FullScaleArrays(ds)
+        base = peak_cusparse(fs, p, device)
+        cells = []
+        for a in algs:
+            peak = PEAK_FUNCTIONS[a](fs, p, device)
+            ratio = peak / base
+            ratios[a].append(ratio)
+            mark = "*" if peak > device.global_mem_bytes else ""
+            cells.append(f"{ratio:>11.3f}{mark or ' '}")
+        lines.append(f"{ds.name:<18}" + "".join(cells)
+                     + f"{base / (1 << 20):>14,.0f}")
+    lines.append(f"{'(geomean)':<18}" + "".join(
+        f"{float(np.exp(np.mean(np.log(ratios[a])))):>11.3f} " for a in algs))
+    lines.append("  * exceeds the 16 GB device (out of memory)")
+    return "\n".join(lines)

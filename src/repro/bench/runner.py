@@ -1,0 +1,166 @@
+"""Run algorithms over datasets and render the paper's tables and series.
+
+The FLOPS metric follows Section IV: performance = 2 x (intermediate
+products) / execution time, where time is the simulated device time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.baselines.registry import DISPLAY_ORDER, create
+from repro.bench.datasets import Dataset, get_dataset
+from repro.errors import DeviceMemoryError
+from repro.gpu.device import P100, DeviceSpec
+from repro.gpu.timeline import PHASES, SimReport
+
+
+@dataclass
+class BenchRun:
+    """One (dataset, algorithm, precision) result.
+
+    ``report`` is None when the run aborted with a simulated out-of-memory
+    error (rendered as "-", as in the paper's Table III).
+    """
+
+    dataset: str
+    algorithm: str
+    precision: str
+    report: SimReport | None
+    oom: bool = False
+
+    @property
+    def gflops(self) -> float:
+        """Simulated GFLOPS (0 when OOM)."""
+        return self.report.gflops if self.report else 0.0
+
+
+def run_one(dataset: Dataset, algorithm: str, precision: str,
+            device: DeviceSpec = P100, **options) -> BenchRun:
+    """Run one algorithm on one dataset, catching simulated OOM."""
+    A = dataset.matrix()
+    algo = create(algorithm, **options)
+    try:
+        result = algo.multiply(A, A, precision=precision, device=device,
+                               matrix_name=dataset.name)
+    except DeviceMemoryError:
+        return BenchRun(dataset.name, algorithm, precision, None, oom=True)
+    return BenchRun(dataset.name, algorithm, precision, result.report)
+
+
+def run_suite(dataset_names: list[str], algorithms: tuple[str, ...] = DISPLAY_ORDER,
+              precisions: tuple[str, ...] = ("single",),
+              device: DeviceSpec = P100) -> list[BenchRun]:
+    """Cartesian run over datasets x algorithms x precisions."""
+    runs = []
+    for name in dataset_names:
+        ds = get_dataset(name)
+        for precision in precisions:
+            for algorithm in algorithms:
+                runs.append(run_one(ds, algorithm, precision, device))
+    return runs
+
+
+# ---------------------------------------------------------------------------
+# renderers
+# ---------------------------------------------------------------------------
+
+def gflops_table(runs: list[BenchRun],
+                 algorithms: tuple[str, ...] = DISPLAY_ORDER) -> str:
+    """Figure 2/3 as a table: rows = matrices, columns = algorithms."""
+    datasets = list(dict.fromkeys(r.dataset for r in runs))
+    by_key = {(r.dataset, r.algorithm): r for r in runs}
+    head = f"{'Matrix':<18}" + "".join(f"{a:>12}" for a in algorithms)
+    head += f"{'speedup':>10}"
+    lines = [head]
+    for d in datasets:
+        cells = []
+        best_base = 0.0
+        ours = 0.0
+        for a in algorithms:
+            r = by_key.get((d, a))
+            if r is None or r.oom:
+                cells.append(f"{'-':>12}")
+                continue
+            cells.append(f"{r.gflops:>12.3f}")
+            if a == "proposal":
+                ours = r.gflops
+            else:
+                best_base = max(best_base, r.gflops)
+        sp = f"x{ours / best_base:.2f}" if best_base > 0 and ours > 0 else "-"
+        lines.append(f"{d:<18}" + "".join(cells) + f"{sp:>10}")
+    return "\n".join(lines)
+
+
+def speedup_stats(runs: list[BenchRun]) -> dict[str, tuple[float, float]]:
+    """Per-baseline (max, geometric-mean) speedup of the proposal.
+
+    The paper reports "x32.3, x8.1 and x4.3 on maximum ... and x15.7, x3.2
+    and x2.3 on average" (single precision) vs CUSP, cuSPARSE, BHSPARSE.
+    """
+    datasets = list(dict.fromkeys(r.dataset for r in runs))
+    by_key = {(r.dataset, r.algorithm): r for r in runs}
+    out: dict[str, tuple[float, float]] = {}
+    for base in ("cusp", "cusparse", "bhsparse"):
+        ratios = []
+        for d in datasets:
+            ours = by_key.get((d, "proposal"))
+            theirs = by_key.get((d, base))
+            if ours and theirs and not ours.oom and not theirs.oom \
+                    and theirs.gflops > 0:
+                ratios.append(ours.gflops / theirs.gflops)
+        if ratios:
+            logmean = 1.0
+            for r in ratios:
+                logmean *= r
+            out[base] = (max(ratios), logmean ** (1.0 / len(ratios)))
+    return out
+
+
+def memory_ratio_table(runs: list[BenchRun],
+                       algorithms: tuple[str, ...] = DISPLAY_ORDER) -> str:
+    """Figure 4 (on the scaled instances): peak memory relative to cuSPARSE."""
+    datasets = list(dict.fromkeys(r.dataset for r in runs))
+    by_key = {(r.dataset, r.algorithm): r for r in runs}
+    head = f"{'Matrix':<18}" + "".join(f"{a:>12}" for a in algorithms)
+    lines = [head]
+    for d in datasets:
+        base = by_key.get((d, "cusparse"))
+        base_peak = base.report.peak_bytes if base and base.report else 0
+        cells = []
+        for a in algorithms:
+            r = by_key.get((d, a))
+            if r is None or r.oom or base_peak == 0:
+                cells.append(f"{'-':>12}")
+            else:
+                cells.append(f"{r.report.peak_bytes / base_peak:>12.3f}")
+        lines.append(f"{d:<18}" + "".join(cells))
+    return "\n".join(lines)
+
+
+def breakdown_table(runs: list[BenchRun]) -> str:
+    """Figures 5/6: per-phase time, normalized to cuSPARSE's total (= 1).
+
+    Shows setup / count / calc / malloc shares for cuSPARSE and the
+    proposal side by side, per matrix.
+    """
+    datasets = list(dict.fromkeys(r.dataset for r in runs))
+    by_key = {(r.dataset, r.algorithm): r for r in runs}
+    head = (f"{'Matrix':<18}{'alg':>10}" + "".join(f"{p:>9}" for p in PHASES)
+            + f"{'total':>9}")
+    lines = [head]
+    for d in datasets:
+        base = by_key.get((d, "cusparse"))
+        if base is None or base.report is None:
+            continue
+        norm = base.report.total_seconds
+        for a in ("cusparse", "proposal"):
+            r = by_key.get((d, a))
+            if r is None or r.report is None:
+                continue
+            shares = [r.report.phase_seconds.get(p, 0.0) / norm for p in PHASES]
+            total = r.report.total_seconds / norm
+            lines.append(f"{d:<18}{a:>10}"
+                         + "".join(f"{s:>9.3f}" for s in shares)
+                         + f"{total:>9.3f}")
+    return "\n".join(lines)

@@ -1,0 +1,194 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``info``
+    Show the device model and its group table (Table I).
+``multiply``
+    Run one SpGEMM on a MatrixMarket file or a generated matrix and print
+    the simulated report (optionally a kernel timeline).
+``suite``
+    Run the Figure 2/3 benchmark suite for a chosen precision.
+``datasets``
+    List the benchmark datasets with instance-vs-paper statistics.
+``memory``
+    Full-scale memory planning table (Figure 4 / Table III view).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.baselines.registry import ALGORITHMS, DISPLAY_ORDER
+
+
+def _add_device_arg(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--device", choices=("P100", "K40"), default="P100",
+                   help="device model to simulate (default: P100)")
+
+
+def _device(name: str):
+    from repro.gpu import device as D
+
+    return {"P100": D.P100, "K40": D.K40}[name]
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Hash-table SpGEMM (Nagasaka et al., ICPP 2017) on a "
+                    "simulated Pascal GPU")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("info", help="device model and group table")
+    _add_device_arg(p)
+
+    p = sub.add_parser("multiply", help="run one SpGEMM and report")
+    src = p.add_mutually_exclusive_group(required=True)
+    src.add_argument("--matrix", metavar="FILE.mtx",
+                     help="MatrixMarket file to square")
+    src.add_argument("--dataset", metavar="NAME",
+                     help="benchmark dataset analogue (see 'datasets')")
+    src.add_argument("--generate", metavar="KIND:N:NNZ",
+                     help="synthetic matrix, e.g. banded:2000:30, "
+                          "stencil:40000:4, powerlaw:20000:4")
+    p.add_argument("--algorithm", choices=sorted(ALGORITHMS),
+                   default="proposal")
+    p.add_argument("--precision", choices=("single", "double"),
+                   default="double")
+    p.add_argument("--timeline", action="store_true",
+                   help="print the kernel Gantt chart")
+    _add_device_arg(p)
+
+    p = sub.add_parser("suite", help="run the Figure 2/3 suite")
+    p.add_argument("--precision", choices=("single", "double"),
+                   default="single")
+    p.add_argument("--large", action="store_true",
+                   help="use the Table III large-graph suite instead")
+
+    sub.add_parser("datasets", help="list benchmark datasets")
+
+    p = sub.add_parser("memory", help="full-scale memory planning")
+    p.add_argument("--precision", choices=("single", "double"),
+                   default="single")
+    return parser
+
+
+def _load_matrix(args):
+    if args.matrix:
+        from repro.sparse.io import read_matrix_market
+
+        return read_matrix_market(args.matrix, precision=args.precision), \
+            args.matrix
+    if args.dataset:
+        from repro.bench.datasets import get_dataset
+
+        return get_dataset(args.dataset).matrix(), args.dataset
+
+    from repro.sparse import generators as G
+
+    try:
+        kind, n, nnz = args.generate.split(":")
+        n, nnz = int(n), float(nnz)
+    except ValueError:
+        raise SystemExit(f"bad --generate spec {args.generate!r}; "
+                         "expected KIND:N:NNZ") from None
+    makers = {
+        "banded": lambda: G.banded(n, int(nnz), rng=0),
+        "stencil": lambda: G.stencil_regular(n, int(nnz), rng=0),
+        "powerlaw": lambda: G.power_law(n, nnz, max(64, int(20 * nnz)), rng=0),
+        "random": lambda: G.random_csr(n, n, nnz, rng=0),
+        "poisson": lambda: G.poisson2d(n),
+    }
+    if kind not in makers:
+        raise SystemExit(f"unknown generator {kind!r}; "
+                         f"choose from {sorted(makers)}")
+    return makers[kind](), f"{kind}:{n}"
+
+
+def cmd_info(args) -> int:
+    from repro.core.params import build_group_table
+
+    dev = _device(args.device)
+    print(f"device: {dev.name}")
+    print(f"  SMs {dev.sm_count} x {dev.cores_per_sm} cores @ "
+          f"{dev.clock_ghz} GHz")
+    print(f"  shared {dev.shared_mem_per_sm // 1024} KB/SM "
+          f"(max {dev.max_shared_per_block // 1024} KB/block)")
+    print(f"  memory {dev.global_mem_bytes / 2**30:.0f} GiB @ "
+          f"{dev.mem_bandwidth_gbps:.0f} GB/s")
+    print("\ngroup table (Table I):")
+    print(build_group_table(dev).render())
+    return 0
+
+
+def cmd_multiply(args) -> int:
+    import repro
+    from repro.gpu.trace import render_timeline
+
+    A, name = _load_matrix(args)
+    print(f"{name}: {A.n_rows:,} x {A.n_cols:,}, {A.nnz:,} nonzeros")
+    result = repro.spgemm(A, A, algorithm=args.algorithm,
+                          precision=args.precision,
+                          device=_device(args.device), matrix_name=name)
+    r = result.report
+    print(f"C: {result.matrix.nnz:,} nonzeros "
+          f"({r.n_products:,} intermediate products)\n")
+    print(r.summary())
+    print("\nphase breakdown:")
+    for phase in ("setup", "count", "calc", "malloc"):
+        print(f"  {phase:<8} {r.phase_seconds.get(phase, 0) * 1e6:10.1f} us"
+              f"  ({100 * r.phase_fraction(phase):5.1f}%)")
+    if args.timeline:
+        print("\nkernel timeline:")
+        print(render_timeline(r.kernels))
+    return 0
+
+
+def cmd_suite(args) -> int:
+    from repro.bench.datasets import DATASETS, LARGE_GRAPHS
+    from repro.bench.runner import gflops_table, run_suite, speedup_stats
+
+    names = list(LARGE_GRAPHS if args.large else DATASETS)
+    runs = run_suite(names, algorithms=DISPLAY_ORDER,
+                     precisions=(args.precision,))
+    print(gflops_table(runs))
+    print()
+    for base, (mx, gm) in speedup_stats(runs).items():
+        print(f"proposal vs {base:<9}: max x{mx:.1f}  geomean x{gm:.2f}")
+    return 0
+
+
+def cmd_datasets(args) -> int:
+    from repro.bench.datasets import instance_table
+
+    print(instance_table())
+    return 0
+
+
+def cmd_memory(args) -> int:
+    from repro.bench.datasets import DATASETS, LARGE_GRAPHS
+    from repro.bench.memory_model import memory_ratio_table
+
+    print(memory_ratio_table(
+        list(DATASETS.values()) + list(LARGE_GRAPHS.values()),
+        args.precision))
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = _build_parser().parse_args(argv)
+    handlers = {
+        "info": cmd_info,
+        "multiply": cmd_multiply,
+        "suite": cmd_suite,
+        "datasets": cmd_datasets,
+        "memory": cmd_memory,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":   # pragma: no cover
+    sys.exit(main())

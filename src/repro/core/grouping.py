@@ -1,0 +1,88 @@
+"""Row grouping (steps (2) and (6) of Figure 1).
+
+Rows are partitioned into the groups of :mod:`repro.core.params` by their
+intermediate-product count (before the symbolic phase) or by their output
+nnz (before the numeric phase).  As in the paper, grouping never reorders
+the matrix: it produces, per group, an array of gathered row indices --
+that array is the proposal's only working-memory overhead besides the
+Group-0 hash tables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import AlgorithmError
+from repro.core.params import GroupParams, GroupTable
+from repro.types import INDEX_DTYPE
+
+
+@dataclass
+class GroupAssignment:
+    """Partition of the rows of A into kernel groups.
+
+    ``rows_by_group[g]`` holds the (ascending) indices of the rows assigned
+    to group ``g`` of ``table``; ``gids[i]`` is row ``i``'s group.
+    """
+
+    table: GroupTable
+    metric: str                     #: 'products' or 'nnz'
+    gids: np.ndarray
+    rows_by_group: list[np.ndarray]
+
+    @property
+    def n_rows(self) -> int:
+        """Total rows partitioned."""
+        return int(self.gids.shape[0])
+
+    def group_sizes(self) -> list[int]:
+        """Rows per group, indexed by gid."""
+        return [int(r.shape[0]) for r in self.rows_by_group]
+
+    def nonempty(self) -> list[tuple[GroupParams, np.ndarray]]:
+        """(params, row indices) for groups that actually contain rows."""
+        return [(self.table[g], rows)
+                for g, rows in enumerate(self.rows_by_group) if rows.shape[0]]
+
+    def device_bytes(self) -> int:
+        """Device memory of the gathered row-index arrays (4 B per row)."""
+        return 4 * self.n_rows
+
+
+def _bounds(params: GroupParams, metric: str) -> tuple[int, float]:
+    if metric == "products":
+        lo, hi = params.min_products, params.max_products
+    elif metric == "nnz":
+        lo, hi = params.min_nnz, params.max_nnz
+    else:
+        raise AlgorithmError(f"unknown grouping metric {metric!r}")
+    return lo, (np.inf if hi is None else hi)
+
+
+def group_rows(counts: np.ndarray, table: GroupTable,
+               metric: str) -> GroupAssignment:
+    """Assign each row to its group by ``counts`` (products or nnz).
+
+    Guarantees a partition: every row lands in exactly one group; raises
+    :class:`AlgorithmError` if the group table's ranges do not cover some
+    count (which would be a bug in the table construction).
+    """
+    counts = np.asarray(counts)
+    n = counts.shape[0]
+    gids = np.full(n, -1, dtype=np.int8)
+    rows_by_group: list[np.ndarray] = []
+    for params in table:
+        lo, hi = _bounds(params, metric)
+        mask = (counts >= lo) & (counts <= hi) & (gids == -1)
+        rows = np.flatnonzero(mask).astype(INDEX_DTYPE)
+        gids[rows] = params.gid
+        rows_by_group.append(rows)
+    uncovered = int((gids == -1).sum())
+    if uncovered:
+        bad = counts[gids == -1][:5]
+        raise AlgorithmError(
+            f"{uncovered} rows not covered by group table (counts {bad})")
+    return GroupAssignment(table=table, metric=metric, gids=gids,
+                           rows_by_group=rows_by_group)

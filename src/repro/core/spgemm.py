@@ -1,0 +1,149 @@
+"""The proposal: hash-table SpGEMM with row grouping (Figure 1 end to end).
+
+:class:`HashSpGEMM` executes the paper's two-phase flow:
+
+1. *setup*: count intermediate products (Alg. 2), allocate and fill the
+   symbolic group arrays;
+2. *count*: per-group symbolic kernels on concurrent streams, with the
+   Group-0 shared-try / global-retry, then the row-pointer scan;
+3. the output matrix ``cudaMalloc`` (its cost is the paper's fourth
+   breakdown component);
+4. *setup*: regroup by output nnz;
+5. *calc*: per-group numeric kernels on concurrent streams (Group 0 on
+   global tables), producing the final CSR.
+
+Constructor switches drive the paper's ablations: ``use_streams=False``
+serializes all kernels (Section IV-C: x1.3 on Circuit), ``use_pwarp=False``
+routes tiny rows through the smallest TB/ROW group (x3.1 on Epidemiology),
+``pwarp_width`` sweeps threads-per-row (Section III-B preliminary).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.base import SpGEMMAlgorithm, SpGEMMResult
+from repro.core.count_products import count_products_kernel, pass_over_rows_kernel
+from repro.core.grouping import GroupAssignment, group_rows
+from repro.core.numeric import plan_numeric
+from repro.core.params import PWARP_WIDTH, build_group_table
+from repro.core.symbolic import plan_symbolic
+from repro.gpu.device import P100, DeviceSpec
+from repro.sparse.csr import CSRMatrix
+from repro.sparse.product import product_for
+from repro.types import INDEX_DTYPE, Precision
+
+
+class HashSpGEMM(SpGEMMAlgorithm):
+    """The paper's SpGEMM (released by the authors as *nsparse*)."""
+
+    name = "proposal"
+
+    def __init__(self, *, use_streams: bool = True, use_pwarp: bool = True,
+                 pwarp_width: int = PWARP_WIDTH,
+                 uniform_tb: bool = False) -> None:
+        self.use_streams = use_streams
+        self.use_pwarp = use_pwarp
+        self.pwarp_width = pwarp_width
+        self.uniform_tb = uniform_tb
+
+    def _group(self, counts: np.ndarray, table, metric: str) -> GroupAssignment:
+        """Group rows, optionally disabling PWARP/ROW (ablation E9): the
+        PWARP group's rows are folded into the smallest TB/ROW group."""
+        assignment = group_rows(counts, table, metric)
+        if not self.use_pwarp:
+            pwarp_gid = table.pwarp_group.gid
+            tb_gid = pwarp_gid - 1
+            merged = np.sort(np.concatenate([
+                assignment.rows_by_group[tb_gid],
+                assignment.rows_by_group[pwarp_gid]])).astype(INDEX_DTYPE)
+            assignment.rows_by_group[tb_gid] = merged
+            assignment.rows_by_group[pwarp_gid] = merged[:0]
+            assignment.gids[merged] = tb_gid
+        return assignment
+
+    def multiply(self, A: CSRMatrix, B: CSRMatrix, *,
+                 precision: Precision | str = Precision.DOUBLE,
+                 device: DeviceSpec = P100,
+                 matrix_name: str = "") -> SpGEMMResult:
+        A, B, p = self._prepare(A, B, precision)
+        ctx = self.context(matrix_name, device, p)
+        n_rows = A.n_rows
+
+        # input matrices are resident before the measured region
+        a_buf = ctx.alloc_resident("A", A.device_bytes(p))
+        b_buf = ctx.alloc_resident("B", B.device_bytes(p)) if B is not A else None
+
+        # ---- functional computation (cached expansion feeds everything) ----
+        row_products, C = product_for(A, B, p)
+        row_nnz = C.row_nnz().astype(np.int64)
+        n_products = int(row_products.sum())
+
+        table = build_group_table(device, pwarp_width=self.pwarp_width,
+                                  uniform_tb=self.uniform_tb)
+
+        # ---- (1)-(2) setup: product counts + symbolic grouping ----
+        d_products = ctx.alloc("row_products", 4 * n_rows, phase="setup")
+        ctx.run("setup", [count_products_kernel(A)],
+                use_streams=self.use_streams)
+        sym_groups = self._group(row_products, table, "products")
+        d_sym_groups = ctx.alloc("group_rows_symbolic",
+                                 sym_groups.device_bytes(), phase="setup")
+        ctx.run("setup", [pass_over_rows_kernel("grouping_symbolic", n_rows, 4.0)],
+                use_streams=self.use_streams)
+
+        # ---- (3) count: symbolic kernels, one stream per group ----
+        d_nnz = ctx.alloc("row_nnz", 4 * (n_rows + 1), phase="setup")
+        sym_plan = plan_symbolic(A, sym_groups, row_products, row_nnz, device)
+        ctx.run("count", sym_plan.kernels, use_streams=self.use_streams)
+        if sym_plan.retry_kernel is not None:
+            tables = ctx.alloc("g0_symbolic_tables",
+                               sym_plan.global_table_bytes, phase="count")
+            ctx.run("count", [sym_plan.retry_kernel],
+                    use_streams=self.use_streams)
+            ctx.free(tables)
+
+        # ---- (4) row pointer of C: exclusive scan over the counts ----
+        ctx.run("count", [pass_over_rows_kernel("scan_rpt_c", n_rows, 2.0,
+                                                phase="count")],
+                use_streams=self.use_streams)
+
+        # ---- (5) allocate C: the total nnz is read back to the host to
+        # size the allocation (one device sync), then cudaMalloc ----
+        ctx.host_sync("count")
+        c_buf = ctx.alloc("C", C.device_bytes(p), phase="malloc")
+
+        # ---- (6) setup: numeric grouping by nnz ----
+        num_groups = self._group(row_nnz, table, "nnz")
+        d_num_groups = ctx.alloc("group_rows_numeric",
+                                 num_groups.device_bytes(), phase="setup")
+        ctx.run("setup", [pass_over_rows_kernel("grouping_numeric", n_rows, 4.0)],
+                use_streams=self.use_streams)
+
+        # ---- (7) calc: numeric kernels, one stream per group ----
+        num_plan = plan_numeric(A, num_groups, row_products, row_nnz, p, device)
+        g0_tables = None
+        if num_plan.global_table_bytes:
+            g0_tables = ctx.alloc("g0_numeric_tables",
+                                  num_plan.global_table_bytes, phase="calc")
+        ctx.run("calc", num_plan.kernels, use_streams=self.use_streams)
+
+        # ---- cleanup of working memory (C and inputs stay) ----
+        if g0_tables is not None:
+            ctx.free(g0_tables)
+        for buf in (d_num_groups, d_sym_groups, d_nnz, d_products):
+            ctx.free(buf)
+        _ = (a_buf, b_buf, c_buf)  # stay live: peak accounting
+
+        report = ctx.report(n_products=n_products, nnz_out=C.nnz)
+        return SpGEMMResult(matrix=C, report=report)
+
+
+def hash_spgemm(A: CSRMatrix, B: CSRMatrix, *,
+                precision: Precision | str = Precision.DOUBLE,
+                device: DeviceSpec = P100, matrix_name: str = "",
+                **options) -> SpGEMMResult:
+    """Convenience wrapper: ``HashSpGEMM(**options).multiply(A, B, ...)``."""
+    return HashSpGEMM(**options).multiply(A, B, precision=precision,
+                                          device=device,
+                                          matrix_name=matrix_name)

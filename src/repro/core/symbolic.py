@@ -1,0 +1,173 @@
+"""Symbolic phase: counting the output nnz of each row (steps (3)-(4)).
+
+Builds one kernel launch per non-empty group -- PWARP/ROW (Alg. 3) for the
+tiny-row group, TB/ROW (Alg. 4) otherwise -- each on its own CUDA stream,
+plus the Group-0 two-phase: a first *try* with the largest shared-memory
+table (rows that overflow record themselves and abort) and a *retry* on
+per-row global-memory tables sized by the intermediate-product count
+(Section III-B.2).
+
+The functional result (exact per-row nnz) is computed by the vectorized
+distinct-count oracle; the hash kernels are semantically a distinct count,
+and the exact :class:`~repro.core.hashtable.HashTable` is checked against
+the oracle in the unit tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core import work as W
+from repro.core.count_products import chunk_maxes, chunk_sums
+from repro.core.grouping import GroupAssignment
+from repro.core.params import ASSIGN_GLOBAL, ASSIGN_PWARP, GroupParams
+from repro.gpu.device import DeviceSpec
+from repro.gpu.kernel import BlockWorks, KernelLaunch
+from repro.types import next_pow2
+
+
+@dataclass
+class SymbolicPlan:
+    """Kernels and memory demands of the symbolic phase."""
+
+    kernels: list[KernelLaunch] = field(default_factory=list)
+    retry_kernel: KernelLaunch | None = None
+    failed_rows: np.ndarray = field(default_factory=lambda: np.empty(0, np.int64))
+    global_table_bytes: int = 0        #: global hash tables for failed rows
+    row_nnz: np.ndarray = field(default_factory=lambda: np.empty(0, np.int64))
+
+
+def _tb_kernel(params: GroupParams, nnz_a, nprod, nnz_out,
+               device: DeviceSpec, stream: int) -> KernelLaunch:
+    """TB/ROW counting kernel: one block per row (Alg. 4).
+
+    A one-row block cannot start hashing before its dependent chain of
+    ``rpt_A -> rpt_B -> col_B`` loads resolves: two memory latencies of
+    unhideable serial time per block."""
+    tsize = params.table_symbolic
+    shared_ops, shared_atomics = W.shared_hash_symbolic(nprod, nnz_out, tsize)
+    works = BlockWorks(
+        flops=W.hash_flops(nprod),
+        shared_ops=shared_ops,
+        shared_atomics=shared_atomics,
+        gmem_coalesced_bytes=W.stream_bytes_symbolic(nnz_a, nprod),
+        gmem_random=W.scattered_transactions(nnz_a),
+        serial_cycles=np.full_like(nprod, 2.0 * device.mem_latency_cycles),
+    )
+    return KernelLaunch(name=f"symbolic_tb_g{params.gid}",
+                        block_threads=params.block_threads,
+                        shared_bytes_per_block=tsize * 4,
+                        works=works, stream=stream, phase="count",
+                        tag=f"g{params.gid}")
+
+
+def _pwarp_kernel(params: GroupParams, nnz_a, nprod, nnz_out,
+                  device: DeviceSpec, stream: int) -> KernelLaunch:
+    """PWARP/ROW counting kernel: ``pwarp_width`` threads per row, many
+    rows per block (Alg. 3)."""
+    rows_per_block = params.rows_per_block
+    tsize = params.table_symbolic
+    shared_ops, shared_atomics = W.shared_hash_symbolic(nprod, nnz_out, tsize)
+    serial = W.pwarp_serial_cycles(nnz_a, nprod, params.pwarp_width,
+                                   device.mem_latency_cycles)
+    works = BlockWorks(
+        flops=chunk_sums(W.hash_flops(nprod), rows_per_block),
+        shared_ops=chunk_sums(shared_ops, rows_per_block),
+        shared_atomics=chunk_sums(shared_atomics, rows_per_block),
+        gmem_coalesced_bytes=chunk_sums(
+            W.stream_bytes_symbolic(nnz_a, nprod), rows_per_block),
+        gmem_random=chunk_sums(W.scattered_transactions(nnz_a), rows_per_block),
+        serial_cycles=chunk_maxes(serial, rows_per_block),
+    )
+    return KernelLaunch(name=f"symbolic_pwarp_g{params.gid}",
+                        block_threads=params.block_threads,
+                        shared_bytes_per_block=rows_per_block * tsize * 4,
+                        works=works, stream=stream, phase="count",
+                        tag=f"g{params.gid}")
+
+
+def _group0_try_kernel(params: GroupParams, try_table: int, nnz_a, nprod,
+                       nnz_out, stream: int) -> KernelLaunch:
+    """Group-0 first phase: attempt with the largest shared table.
+
+    Rows whose distinct-column count exceeds ``try_table`` abort once the
+    table fills; the work charged for them is the fraction of products
+    expected before overflow detection (products are assumed evenly
+    interleaved among distinct columns) plus the flag write.
+    """
+    failed = nnz_out > try_table
+    frac = np.where(failed, np.minimum(1.0, try_table / np.maximum(nnz_out, 1)),
+                    1.0)
+    eff_prod = nprod * frac
+    eff_nnz = np.minimum(nnz_out, try_table)
+    shared_ops, shared_atomics = W.shared_hash_symbolic(eff_prod, eff_nnz,
+                                                        try_table)
+    works = BlockWorks(
+        flops=W.hash_flops(eff_prod),
+        shared_ops=shared_ops,
+        shared_atomics=shared_atomics,
+        gmem_coalesced_bytes=W.stream_bytes_symbolic(nnz_a, eff_prod) + 4.0,
+        gmem_random=W.scattered_transactions(nnz_a) * frac,
+    )
+    return KernelLaunch(name="symbolic_tb_g0_try",
+                        block_threads=params.block_threads,
+                        shared_bytes_per_block=try_table * 4,
+                        works=works, stream=stream, phase="count", tag="g0")
+
+
+def _group0_retry_kernel(params: GroupParams, nnz_a, nprod, nnz_out,
+                         table_sizes) -> KernelLaunch:
+    """Group-0 second phase: recount failed rows on global-memory tables."""
+    rand, atomics = W.global_hash_symbolic(nprod, nnz_out, table_sizes)
+    works = BlockWorks(
+        flops=W.hash_flops(nprod),
+        gmem_coalesced_bytes=(W.stream_bytes_symbolic(nnz_a, nprod)
+                              + 4.0 * table_sizes),   # table init store
+        gmem_random=rand + W.scattered_transactions(nnz_a),
+        gmem_atomics=atomics,
+    )
+    return KernelLaunch(name="symbolic_tb_g0_retry",
+                        block_threads=params.block_threads,
+                        shared_bytes_per_block=0,
+                        works=works, stream=0, phase="count", tag="g0retry")
+
+
+def plan_symbolic(A, assignment: GroupAssignment, row_products: np.ndarray,
+                  row_nnz: np.ndarray, device: DeviceSpec) -> SymbolicPlan:
+    """Build the symbolic-phase kernels for a grouped matrix.
+
+    ``row_products`` and ``row_nnz`` are full-length per-row arrays (the
+    latter from the functional oracle standing in for the hash count).
+    """
+    plan = SymbolicPlan(row_nnz=row_nnz)
+    nnz_a_all = A.row_nnz()
+    try_table = assignment.table.max_shared_table_symbolic
+
+    for params, rows in assignment.nonempty():
+        nnz_a = nnz_a_all[rows].astype(np.float64)
+        nprod = row_products[rows].astype(np.float64)
+        nnz_out = row_nnz[rows].astype(np.float64)
+        stream = params.gid + 1
+        if params.assignment == ASSIGN_PWARP:
+            plan.kernels.append(
+                _pwarp_kernel(params, nnz_a, nprod, nnz_out, device, stream))
+        elif params.assignment == ASSIGN_GLOBAL:
+            plan.kernels.append(
+                _group0_try_kernel(params, try_table, nnz_a, nprod, nnz_out,
+                                   stream))
+            failed_mask = nnz_out > try_table
+            failed = rows[failed_mask]
+            if failed.shape[0]:
+                sizes = np.array([next_pow2(int(p))
+                                  for p in row_products[failed]], dtype=np.float64)
+                plan.failed_rows = failed
+                plan.global_table_bytes = int(4 * sizes.sum())
+                plan.retry_kernel = _group0_retry_kernel(
+                    params, nnz_a[failed_mask], nprod[failed_mask],
+                    nnz_out[failed_mask], sizes)
+        else:
+            plan.kernels.append(
+                _tb_kernel(params, nnz_a, nprod, nnz_out, device, stream))
+    return plan

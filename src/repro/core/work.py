@@ -1,0 +1,142 @@
+"""Per-row work estimation shared by the symbolic and numeric kernels.
+
+Each function returns per-row (or per-block) operation counts in the
+currency of :class:`repro.gpu.kernel.BlockWorks`.  The quantities mirror
+what the CUDA kernels of the paper touch:
+
+* streaming reads of ``rpt_A``/``col_A``/``val_A`` and of the B rows'
+  ``col_B``/``val_B`` segments (coalesced);
+* one ``rpt_B`` pair load plus one B-row first-touch per A-nonzero
+  (scattered -> latency-bearing transactions);
+* hash probes and CAS attempts (shared or global depending on the group);
+* the numeric phase's table init, value accumulation, gather and rank sort.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.hashtable import expected_cas, expected_probes
+from repro.types import Precision
+
+
+#: Average wasted bytes at each B-row segment boundary: a segment's first
+#: and last transactions are partially used (half a 32-byte transaction on
+#: average).
+SEGMENT_WASTE_BYTES = 16.0
+
+
+def stream_bytes_symbolic(nnz_a: np.ndarray, nprod: np.ndarray) -> np.ndarray:
+    """Coalesced bytes per row in the symbolic phase.
+
+    rpt_A pair (8 B), col_A (4 B each), col_B segments (4 B per product
+    plus the per-segment boundary waste), and the 4-byte nnz result write;
+    the scattered ``rpt_B`` lookups are counted separately.
+    """
+    return (8.0 + (4.0 + SEGMENT_WASTE_BYTES) * nnz_a + 4.0 * nprod + 4.0)
+
+
+def stream_bytes_numeric(nnz_a: np.ndarray, nprod: np.ndarray,
+                         nnz_out: np.ndarray, precision: Precision) -> np.ndarray:
+    """Coalesced bytes per row in the numeric phase (reads A and B values
+    too, and writes the output row's columns and values)."""
+    vb = precision.value_bytes
+    return (8.0 + (4.0 + vb + 2.0 * SEGMENT_WASTE_BYTES) * nnz_a
+            + (4.0 + vb) * nprod + (4.0 + vb) * nnz_out + 8.0)
+
+
+def scattered_transactions(nnz_a: np.ndarray) -> np.ndarray:
+    """Latency-bearing global transactions per row: one ``rpt_B[d]`` /
+    ``rpt_B[d+1]`` pair lookup (a single 8-byte transaction) per
+    A-nonzero.  The B segment reads themselves are streamed (their
+    boundary waste lives in the ``stream_bytes`` terms)."""
+    return np.asarray(nnz_a, dtype=np.float64)
+
+
+def hash_flops(nprod: np.ndarray) -> np.ndarray:
+    """Index arithmetic per product: hash computation + comparisons."""
+    return 2.0 * np.asarray(nprod, dtype=np.float64)
+
+
+def shared_hash_symbolic(nprod: np.ndarray, nnz_out: np.ndarray,
+                         table_size: np.ndarray | int) -> tuple[np.ndarray, np.ndarray]:
+    """(shared_ops, shared_atomics) per row for counting with a shared table.
+
+    Table init (one store per slot), probe loop loads, CAS inserts.
+    """
+    table_size = np.asarray(table_size, dtype=np.float64)
+    probes = expected_probes(nprod, nnz_out, table_size)
+    ops = table_size + probes
+    atomics = expected_cas(nnz_out, table_size)
+    return ops, atomics
+
+
+def shared_hash_numeric(nprod: np.ndarray, nnz_out: np.ndarray,
+                        table_size: np.ndarray | int,
+                        precision: Precision) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """(shared_ops, shared_atomics, sort_flops) per row for the numeric phase.
+
+    Adds to the symbolic work: value-column init, one atomic value
+    accumulation per product, the gather scan over the table, and the rank
+    sort -- each output nonzero is compared against every other one in the
+    row's table (Section III-C), i.e. ``nnz_out**2`` comparisons.
+    """
+    table_size = np.asarray(table_size, dtype=np.float64)
+    vwords = precision.value_bytes / 4.0
+    probes = expected_probes(nprod, nnz_out, table_size)
+    nprod = np.asarray(nprod, dtype=np.float64)
+    nnz_out = np.asarray(nnz_out, dtype=np.float64)
+    ops = (table_size * (1.0 + vwords)      # init key + value columns
+           + probes                          # probe loads
+           + nprod * vwords                  # value accumulation accesses
+           + table_size                      # gather scan
+           + nnz_out * (2.0 + vwords))       # gather + ordered store
+    atomics = expected_cas(nnz_out, table_size) + nprod
+    sort_flops = nnz_out * nnz_out
+    return ops, atomics, sort_flops
+
+
+def pwarp_serial_cycles(nnz_a: np.ndarray, nprod: np.ndarray, width: int,
+                        mem_latency: float,
+                        shared_latency: float = 8.0) -> np.ndarray:
+    """Unhideable critical-path cycles of one PWARP processing one row.
+
+    A partial warp of ``width`` threads strides over the row's A-nonzeros;
+    each thread walks its B rows serially, so the chain is
+    ``ceil(nnz_a / width)`` dependent global fetches plus
+    ``nprod / width`` dependent shared hash operations.  This is the term
+    that makes 1- or 2-thread PWARPs slow and, together with the
+    rows-per-block loss at large widths, reproduces the paper's finding
+    that 4 threads per row is the sweet spot (Section III-B).
+    """
+    nnz_a = np.asarray(nnz_a, dtype=np.float64)
+    nprod = np.asarray(nprod, dtype=np.float64)
+    return (np.ceil(nnz_a / width) * mem_latency
+            + nprod / width * shared_latency)
+
+
+def global_hash_symbolic(nprod: np.ndarray, nnz_out: np.ndarray,
+                         table_size: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """(gmem_random, gmem_atomics) per row for Group-0 counting on global
+    tables: every probe is a scattered global load; every insert a global
+    CAS.  Table init is streaming and charged by the caller."""
+    probes = expected_probes(nprod, nnz_out, table_size)
+    atomics = expected_cas(nnz_out, table_size)
+    return probes, atomics
+
+
+def global_hash_numeric(nprod: np.ndarray, nnz_out: np.ndarray,
+                        table_size: np.ndarray) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """(gmem_random, gmem_atomics, sort_flops) for Group-0 numeric rows.
+
+    Value accumulation is a global atomic per product.  Huge rows cannot
+    use the all-pairs rank sort; the global path sorts with a bitonic
+    network, ``nnz * log2(nnz)**2`` comparisons.
+    """
+    nnz_out = np.asarray(nnz_out, dtype=np.float64)
+    probes = expected_probes(nprod, nnz_out, table_size)
+    rand = probes + np.asarray(nprod, dtype=np.float64)   # probe + value add
+    atomics = expected_cas(nnz_out, table_size) + np.asarray(nprod, np.float64)
+    log2 = np.log2(np.maximum(nnz_out, 2.0))
+    sort_flops = nnz_out * log2 * log2
+    return rand, atomics, sort_flops

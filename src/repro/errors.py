@@ -1,0 +1,62 @@
+"""Exception hierarchy for :mod:`repro`.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything from this package with a single ``except`` clause.  The GPU
+simulator raises :class:`DeviceMemoryError` where a real CUDA run would
+return ``cudaErrorMemoryAllocation`` -- the Table III experiments rely on
+catching it to report the "-" (out of memory) entries of the paper.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class SparseFormatError(ReproError):
+    """A sparse matrix container is structurally invalid.
+
+    Raised by :func:`repro.sparse.validate.validate_csr` and by the CSR/COO
+    constructors when ``check=True``: non-monotone row pointers, column
+    indices out of range, dtype mismatches, shape inconsistencies.
+    """
+
+
+class ShapeMismatchError(ReproError):
+    """Operand shapes are incompatible (e.g. ``A.n_cols != B.n_rows``)."""
+
+
+class DeviceMemoryError(ReproError):
+    """A simulated device allocation exceeded the device memory capacity.
+
+    Mirrors ``cudaErrorMemoryAllocation``.  Carries the attempted size and
+    the allocator state at failure time for diagnostics.
+    """
+
+    def __init__(self, message: str, *, requested: int = 0, in_use: int = 0,
+                 capacity: int = 0) -> None:
+        super().__init__(message)
+        self.requested = int(requested)
+        self.in_use = int(in_use)
+        self.capacity = int(capacity)
+
+
+class DeviceConfigError(ReproError):
+    """A kernel launch or device specification is invalid.
+
+    Examples: thread block larger than ``max_threads_per_block``, shared
+    memory request above ``max_shared_per_block``, zero-SM device.
+    """
+
+
+class SchedulerError(ReproError):
+    """Internal inconsistency in the discrete-event block scheduler."""
+
+
+class HashTableError(ReproError):
+    """A hash-table operation failed (table full, invalid key, bad size)."""
+
+
+class AlgorithmError(ReproError):
+    """An SpGEMM algorithm was mis-configured or hit an internal invariant."""

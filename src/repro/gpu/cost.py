@@ -1,0 +1,103 @@
+"""The cycle model: converting per-block work into per-block durations.
+
+Model (documented here once; every algorithm is costed identically):
+
+Let ``R`` be the number of blocks of this kernel resident per SM (from the
+occupancy calculator) and ``W`` the warps per block.  A block's duration in
+SM cycles is the *sum* of four components::
+
+    compute   = flops / flops_per_cycle_per_sm            * R
+    shared    = (shared_ops / shared_lanes_per_cycle
+                 + shared_atomics * shared_atomic_cycles / warp_size) * R
+    bandwidth = bytes_moved / bytes_per_cycle_of_active_share * R
+    latency   = (gmem_random * mem_latency
+                 + gmem_atomics * global_atomic_cycles) / (W * mlp_per_warp)
+
+plus a fixed ``block_overhead_cycles`` prologue and the block's
+``serial_cycles`` (unhideable critical path), charged verbatim.
+
+Rationale:
+
+* *Sharing* -- the ``R`` co-resident blocks of an SM time-share its
+  arithmetic units, shared-memory ports and bandwidth share, so each
+  block's throughput-bound components stretch by ``R``.  Because the
+  scheduler actually runs ``R`` blocks concurrently, aggregate SM
+  throughput is invariant -- as on hardware.
+* *Latency hiding* -- scattered global accesses cost full round-trip
+  latency divided by the block's own memory-level parallelism
+  (``W * mlp_per_warp`` outstanding requests).  Co-resident blocks overlap
+  each other's latency for free (they are concurrent in the scheduler),
+  which is exactly why the paper halves block sizes to raise ``R``
+  (Section III-D): more resident blocks hide more latency.
+* ``bytes_moved = gmem_coalesced_bytes + gmem_random * transaction_bytes``:
+  a scattered access wastes a full transaction regardless of word size.
+* ``bytes_per_cycle_of_active_share`` -- total bandwidth divided over the
+  SMs the grid actually occupies (``min(sm_count, ceil(n_blocks / R))``),
+  so an underfilled grid is not throttled to a 1/56 fair share that no
+  other kernel is using.
+* Components are summed, not maxed: a deliberate, conservative choice that
+  keeps the model monotone in every work column (documented deviation from
+  perfect overlap; identical for all algorithms).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.gpu.device import DeviceSpec
+from repro.gpu.kernel import KernelLaunch
+from repro.gpu.occupancy import occupancy_for
+from repro.types import Precision
+
+
+def block_durations(kernel: KernelLaunch, device: DeviceSpec,
+                    precision: Precision | str) -> np.ndarray:
+    """Seconds each block of ``kernel`` takes, as a float64 array.
+
+    Deterministic, vectorized over blocks.
+    """
+    p = Precision.parse(precision)
+    occ = occupancy_for(device, kernel.block_threads, kernel.shared_bytes_per_block)
+    # Effective co-residency: a grid smaller than one full wave never
+    # reaches the occupancy limit, so its blocks are not stretched by
+    # neighbors that do not exist.
+    R = min(occ.blocks_per_sm, max(1, -(-kernel.n_blocks // device.sm_count)))
+    W = occ.warps_per_block
+    w = kernel.works
+
+    flops_rate = device.flops_per_cycle_per_sm(p is Precision.DOUBLE)
+    compute = w.flops / flops_rate * R
+
+    shared = (w.shared_ops / device.shared_lanes_per_cycle
+              + w.shared_atomics * device.shared_atomic_cycles / device.warp_size) * R
+
+    # bandwidth share: an underfilled grid does not leave the unused SMs'
+    # share of the memory system idle -- the active SMs absorb it
+    active_sms = min(device.sm_count, max(1, -(-kernel.n_blocks // R)))
+    bytes_per_cycle = (device.bandwidth_bytes_per_sec
+                       / (active_sms * device.clock_hz))
+    bytes_moved = w.gmem_coalesced_bytes + w.gmem_random * device.transaction_bytes
+    bandwidth = bytes_moved / bytes_per_cycle * R
+
+    parallelism = max(1.0, W * device.mlp_per_warp)
+    latency = (w.gmem_random * device.mem_latency_cycles
+               + w.gmem_atomics * device.global_atomic_cycles) / parallelism
+
+    cycles = (compute + shared + bandwidth + latency + w.serial_cycles
+              + device.block_overhead_cycles)
+    return cycles / device.clock_hz
+
+
+def kernel_duration_alone(kernel: KernelLaunch, device: DeviceSpec,
+                          precision: Precision | str) -> float:
+    """Makespan of one kernel running alone on the device (no streams).
+
+    Lower-bound list-scheduling estimate: blocks are spread over
+    ``sm_count * blocks_per_sm`` slots; makespan is the max of the
+    average-load bound and the longest block.  The event scheduler gives
+    the exact figure; this helper exists for quick analytic checks.
+    """
+    occ = occupancy_for(device, kernel.block_threads, kernel.shared_bytes_per_block)
+    durations = block_durations(kernel, device, precision)
+    slots = device.sm_count * occ.blocks_per_sm
+    return float(max(durations.sum() / slots, durations.max(initial=0.0)))

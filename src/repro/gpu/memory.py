@@ -1,0 +1,120 @@
+"""Device memory allocator with peak tracking and a ``cudaMalloc`` model.
+
+Two of the paper's headline results hinge on memory:
+
+* Figure 4 compares *maximum memory usage during SpGEMM* across libraries;
+* Table III shows CUSP and BHSPARSE failing outright ("-") on cage15 and
+  wb-edu because their temporaries exceed the 16 GB device.
+
+Every algorithm in this package routes allocations through
+:class:`DeviceMemory`, which tracks live bytes, records the high-water
+mark, raises :class:`~repro.errors.DeviceMemoryError` past capacity, and
+accumulates simulated ``cudaMalloc`` / ``cudaFree`` time (Section IV-C
+singles out Pascal's allocation cost as a visible breakdown component).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import DeviceMemoryError, ReproError
+from repro.gpu.device import DeviceSpec
+
+
+@dataclass
+class Allocation:
+    """A live device allocation (returned by :meth:`DeviceMemory.alloc`)."""
+
+    name: str
+    nbytes: int
+    freed: bool = False
+
+
+@dataclass
+class AllocationEvent:
+    """One entry of the allocation trace (for tests and reports)."""
+
+    kind: str        #: 'alloc' | 'free'
+    name: str
+    nbytes: int
+    in_use_after: int
+
+
+class DeviceMemory:
+    """Tracks simulated device-memory usage for one SpGEMM run.
+
+    Parameters
+    ----------
+    device:
+        Supplies the capacity and the malloc/free cost model.
+    charge_time:
+        When False, allocations are accounted for peak/OOM purposes but add
+        no simulated time (used for the full-scale analytic memory planner,
+        where only sizes matter).
+    """
+
+    def __init__(self, device: DeviceSpec, *, charge_time: bool = True) -> None:
+        self.device = device
+        self.charge_time = charge_time
+        self.in_use = 0
+        self.peak = 0
+        self.malloc_seconds = 0.0
+        self.free_seconds = 0.0
+        self.n_allocs = 0
+        self.events: list[AllocationEvent] = []
+        self._live: dict[int, Allocation] = {}
+
+    # ------------------------------------------------------------------
+
+    def alloc(self, name: str, nbytes: int) -> Allocation:
+        """Allocate ``nbytes``; raises :class:`DeviceMemoryError` on OOM."""
+        nbytes = int(nbytes)
+        if nbytes < 0:
+            raise ReproError(f"negative allocation {name!r}: {nbytes}")
+        if self.in_use + nbytes > self.device.global_mem_bytes:
+            raise DeviceMemoryError(
+                f"cudaMalloc({name!r}, {nbytes:,} B) exceeds device capacity: "
+                f"{self.in_use:,} B in use of {self.device.global_mem_bytes:,} B",
+                requested=nbytes, in_use=self.in_use,
+                capacity=self.device.global_mem_bytes)
+        a = Allocation(name=name, nbytes=nbytes)
+        self._live[id(a)] = a
+        self.in_use += nbytes
+        self.peak = max(self.peak, self.in_use)
+        self.n_allocs += 1
+        if self.charge_time:
+            self.malloc_seconds += self.device.malloc_seconds(nbytes)
+        self.events.append(AllocationEvent("alloc", name, nbytes, self.in_use))
+        return a
+
+    def free(self, allocation: Allocation) -> None:
+        """Release an allocation (idempotence is an error: double free raises)."""
+        if allocation.freed or id(allocation) not in self._live:
+            raise ReproError(f"double free of {allocation.name!r}")
+        allocation.freed = True
+        del self._live[id(allocation)]
+        self.in_use -= allocation.nbytes
+        if self.charge_time:
+            self.free_seconds += self.device.free_seconds()
+        self.events.append(
+            AllocationEvent("free", allocation.name, allocation.nbytes, self.in_use))
+
+    def free_all(self) -> None:
+        """Release everything still live (end-of-run cleanup)."""
+        for a in list(self._live.values()):
+            self.free(a)
+
+    # ------------------------------------------------------------------
+
+    @property
+    def live_allocations(self) -> list[Allocation]:
+        """Currently live allocations, in insertion order."""
+        return list(self._live.values())
+
+    def checkpoint(self) -> int:
+        """Current in-use bytes (for invariant checks in tests)."""
+        return self.in_use
+
+    def __repr__(self) -> str:
+        return (f"DeviceMemory(in_use={self.in_use:,}, peak={self.peak:,}, "
+                f"capacity={self.device.global_mem_bytes:,})")

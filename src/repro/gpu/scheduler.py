@@ -1,0 +1,212 @@
+"""Discrete-event simulation of thread-block dispatch onto SMs.
+
+This is where load balance -- the central concern of the paper -- comes
+from.  Each kernel is a bag of blocks with individual durations (from
+:mod:`repro.gpu.cost`).  Blocks are dispatched FIFO onto any SM with free
+resources (threads, shared memory, block slots), mirroring the GPU's
+hardware work distributor.  A single 4700-nnz webbase row therefore holds
+one SM hostage while the rest drain, exactly the pathology the paper's
+grouping fixes.
+
+Stream semantics follow CUDA: kernels on the same stream serialize in
+issue order; kernels on different streams co-schedule whenever SM
+resources allow.  Passing ``use_streams=False`` forces serialization --
+that switch is the paper's Section IV-C stream ablation (x1.3 on Circuit).
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+
+from repro.errors import SchedulerError
+from repro.gpu.cost import block_durations
+from repro.gpu.device import DeviceSpec
+from repro.gpu.kernel import KernelLaunch
+from repro.gpu.occupancy import occupancy_for
+from repro.gpu.timeline import KernelRecord
+from repro.types import Precision
+
+#: Hard cap on simulated events, as a runaway guard (not a tuning knob).
+MAX_EVENTS = 20_000_000
+
+
+@dataclass
+class PhaseSchedule:
+    """Result of simulating one phase (a set of kernel launches)."""
+
+    start: float
+    end: float
+    records: list[KernelRecord]
+
+    @property
+    def duration(self) -> float:
+        """Phase wall-clock span in seconds."""
+        return self.end - self.start
+
+
+class _KernelState:
+    __slots__ = ("kernel", "durations", "threads", "shared", "next_block",
+                 "done", "ready_at", "first_start", "finish", "index")
+
+    def __init__(self, index: int, kernel: KernelLaunch, durations,
+                 device: DeviceSpec) -> None:
+        occ = occupancy_for(device, kernel.block_threads,
+                            kernel.shared_bytes_per_block)
+        self.index = index
+        self.kernel = kernel
+        self.durations = durations
+        # resource footprint of one block on an SM
+        self.threads = occ.warps_per_block * device.warp_size
+        self.shared = kernel.shared_bytes_per_block
+        self.next_block = 0
+        self.done = 0
+        self.ready_at: float | None = None   # None = not yet ready
+        self.first_start: float | None = None
+        self.finish: float | None = None
+
+    @property
+    def n_blocks(self) -> int:
+        return len(self.durations)
+
+    @property
+    def dispatch_complete(self) -> bool:
+        return self.next_block >= self.n_blocks
+
+
+def simulate_phase(kernels: list[KernelLaunch], device: DeviceSpec,
+                   precision: Precision | str, *, start_time: float = 0.0,
+                   use_streams: bool = True) -> PhaseSchedule:
+    """Simulate the concurrent execution of ``kernels`` on ``device``.
+
+    Kernels are issued host-side in list order, each issue costing
+    ``kernel_launch_us``; a kernel becomes *ready* when its issue has
+    happened and its stream predecessor (if any) has finished.  Returns the
+    phase schedule with one :class:`KernelRecord` per launch.
+    """
+    if not kernels:
+        return PhaseSchedule(start=start_time, end=start_time, records=[])
+
+    p = Precision.parse(precision)
+    states = [_KernelState(i, k, block_durations(k, device, p), device)
+              for i, k in enumerate(kernels)]
+
+    # stream predecessor chains (all on one stream when streams disabled)
+    prev_on_stream: dict[int, int] = {}
+    predecessor: list[int | None] = [None] * len(states)
+    for st in states:
+        stream = st.kernel.stream if use_streams else 0
+        if stream in prev_on_stream:
+            predecessor[st.index] = prev_on_stream[stream]
+        prev_on_stream[stream] = st.index
+
+    # per-SM free resources
+    threads_free = [device.max_threads_per_sm] * device.sm_count
+    shared_free = [device.shared_mem_per_sm] * device.sm_count
+    blocks_free = [device.max_blocks_per_sm] * device.sm_count
+
+    issue_gap = device.kernel_launch_us * 1e-6
+    heap: list[tuple[float, int, int, int, int, int]] = []
+    seq = 0
+    # event tuples: (time, seq, kind, kernel_idx, sm, threads) where kind
+    # 0 = kernel becomes ready, 1 = block completion
+    for st in states:
+        issue_time = start_time + (st.index + 1) * issue_gap
+        if predecessor[st.index] is None:
+            heapq.heappush(heap, (issue_time, seq, 0, st.index, -1, 0))
+            seq += 1
+
+    n_events = 0
+    finished = 0
+    ready: list[_KernelState] = []   # ready kernels with blocks to dispatch
+
+    all_sms = range(device.sm_count)
+
+    def try_dispatch(now: float, sms=None) -> None:
+        nonlocal seq
+        scan = all_sms if sms is None else sms
+        for st in list(ready):
+            if st.dispatch_complete:
+                ready.remove(st)
+                continue
+            for sm in scan:
+                if st.dispatch_complete:
+                    break
+                fit_t = threads_free[sm] // st.threads
+                fit_b = blocks_free[sm]
+                fit_s = (shared_free[sm] // st.shared) if st.shared > 0 else fit_b
+                n_fit = min(fit_t, fit_b, fit_s,
+                            st.n_blocks - st.next_block)
+                if n_fit <= 0:
+                    continue
+                threads_free[sm] -= n_fit * st.threads
+                shared_free[sm] -= n_fit * st.shared
+                blocks_free[sm] -= n_fit
+                if st.first_start is None:
+                    st.first_start = now
+                for b in range(st.next_block, st.next_block + n_fit):
+                    heapq.heappush(
+                        heap,
+                        (now + float(st.durations[b]), seq, 1, st.index, sm,
+                         st.threads))
+                    seq += 1
+                st.next_block += n_fit
+            if st.dispatch_complete:
+                ready.remove(st)
+
+    freed_sms: set[int] = set()
+    new_ready = False
+    while heap:
+        n_events += 1
+        if n_events > MAX_EVENTS:
+            raise SchedulerError("event budget exceeded; runaway simulation")
+        now, _, kind, k_idx, sm, threads = heapq.heappop(heap)
+        st = states[k_idx]
+        if kind == 0:
+            st.ready_at = now
+            ready.append(st)
+            ready.sort(key=lambda s: s.index)   # FIFO by issue order
+            new_ready = True
+        else:
+            threads_free[sm] += threads
+            shared_free[sm] += st.shared
+            blocks_free[sm] += 1
+            freed_sms.add(sm)
+            st.done += 1
+            if st.done == st.n_blocks:
+                st.finish = now
+                finished += 1
+                # wake stream successors
+                for succ in states:
+                    if predecessor[succ.index] == st.index:
+                        issue_time = start_time + (succ.index + 1) * issue_gap
+                        heapq.heappush(heap,
+                                       (max(now, issue_time), seq, 0,
+                                        succ.index, -1, 0))
+                        seq += 1
+        # coalesce simultaneous events before dispatching
+        if heap and heap[0][0] == now:
+            continue
+        if ready and (new_ready or freed_sms):
+            try_dispatch(now, None if new_ready else sorted(freed_sms))
+        freed_sms.clear()
+        new_ready = False
+
+    if finished != len(states):
+        raise SchedulerError(
+            f"{len(states) - finished} kernels never completed "
+            "(dispatch deadlock)")
+
+    records = []
+    for st in states:
+        records.append(KernelRecord(
+            name=st.kernel.name,
+            phase=st.kernel.phase,
+            stream=st.kernel.stream if use_streams else 0,
+            start=float(st.first_start if st.first_start is not None else st.ready_at),
+            end=float(st.finish),
+            n_blocks=st.n_blocks,
+            block_seconds=float(st.durations.sum()),
+        ))
+    end = max(r.end for r in records)
+    return PhaseSchedule(start=start_time, end=end, records=records)

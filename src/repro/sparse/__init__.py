@@ -1,0 +1,25 @@
+"""Sparse-matrix substrate: containers, conversion, generation, statistics.
+
+This subpackage is self-contained (SciPy appears only in the test suite as
+an oracle).  It provides the CSR/COO containers every SpGEMM algorithm in
+:mod:`repro` consumes and produces, plus the workload generators used by the
+benchmark harness.
+"""
+
+from repro.sparse.coo import COOMatrix
+from repro.sparse.csr import CSRMatrix
+from repro.sparse.expansion import expand_products, intermediate_product_counts
+from repro.sparse.reference import spgemm_reference
+from repro.sparse.stats import MatrixStats, compute_stats
+from repro.sparse.validate import validate_csr
+
+__all__ = [
+    "COOMatrix",
+    "CSRMatrix",
+    "MatrixStats",
+    "compute_stats",
+    "expand_products",
+    "intermediate_product_counts",
+    "spgemm_reference",
+    "validate_csr",
+]

@@ -1,0 +1,107 @@
+"""MatrixMarket I/O.
+
+The paper's datasets come from the UF (SuiteSparse) collection, distributed
+as MatrixMarket ``.mtx`` files.  This reader/writer supports the subset the
+collection uses for these matrices: ``coordinate`` storage with ``real``,
+``integer`` or ``pattern`` fields and ``general`` or ``symmetric``
+symmetry.  Symmetric files are expanded to full storage on read (matching
+how SpGEMM libraries consume them).
+"""
+
+from __future__ import annotations
+
+import gzip
+import io as _io
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import SparseFormatError
+from repro.sparse.coo import COOMatrix
+from repro.sparse.csr import CSRMatrix
+from repro.types import INDEX_DTYPE, Precision
+
+_SUPPORTED_FIELDS = {"real", "integer", "pattern"}
+_SUPPORTED_SYMMETRY = {"general", "symmetric"}
+
+
+def _open_text(path: str | Path):
+    path = Path(path)
+    if path.suffix == ".gz":
+        return _io.TextIOWrapper(gzip.open(path, "rb"), encoding="ascii")
+    return open(path, "r", encoding="ascii")
+
+
+def read_matrix_market(path: str | Path,
+                       precision: Precision | str = Precision.DOUBLE) -> CSRMatrix:
+    """Read a MatrixMarket coordinate file into canonical CSR.
+
+    Duplicate entries are summed (MatrixMarket assembly semantics);
+    symmetric matrices are expanded (off-diagonal entries mirrored).
+    """
+    p = Precision.parse(precision)
+    with _open_text(path) as fh:
+        header = fh.readline()
+        if not header.startswith("%%MatrixMarket"):
+            raise SparseFormatError(f"{path}: missing MatrixMarket header")
+        parts = header.strip().split()
+        if len(parts) < 5 or parts[1].lower() != "matrix":
+            raise SparseFormatError(f"{path}: malformed header {header!r}")
+        fmt, field, symmetry = (parts[2].lower(), parts[3].lower(), parts[4].lower())
+        if fmt != "coordinate":
+            raise SparseFormatError(f"{path}: only 'coordinate' format supported, got {fmt!r}")
+        if field not in _SUPPORTED_FIELDS:
+            raise SparseFormatError(f"{path}: unsupported field {field!r}")
+        if symmetry not in _SUPPORTED_SYMMETRY:
+            raise SparseFormatError(f"{path}: unsupported symmetry {symmetry!r}")
+
+        # skip comments
+        line = fh.readline()
+        while line.startswith("%"):
+            line = fh.readline()
+        dims = line.split()
+        if len(dims) != 3:
+            raise SparseFormatError(f"{path}: malformed size line {line!r}")
+        n_rows, n_cols, nnz = (int(x) for x in dims)
+
+        body = fh.read()
+
+    tokens = body.split()
+    cols_per_entry = 2 if field == "pattern" else 3
+    if len(tokens) != nnz * cols_per_entry:
+        raise SparseFormatError(
+            f"{path}: expected {nnz} entries x {cols_per_entry} fields, "
+            f"found {len(tokens)} tokens")
+    data = np.array(tokens, dtype=np.float64)
+    flat = data.reshape(nnz, cols_per_entry) if nnz else data.reshape(0, cols_per_entry)
+    rows = flat[:, 0].astype(np.int64) - 1
+    cols = flat[:, 1].astype(np.int64) - 1
+    if field == "pattern":
+        vals = np.ones(nnz, dtype=p.value_dtype)
+    else:
+        vals = flat[:, 2].astype(p.value_dtype)
+
+    if symmetry == "symmetric":
+        off = rows != cols
+        rows, cols = (np.concatenate([rows, cols[off]]),
+                      np.concatenate([cols, rows[off]]))
+        vals = np.concatenate([vals, vals[off]])
+
+    coo = COOMatrix(rows.astype(INDEX_DTYPE), cols.astype(INDEX_DTYPE), vals,
+                    (n_rows, n_cols))
+    return coo.to_csr()
+
+
+def write_matrix_market(path: str | Path, m: CSRMatrix,
+                        comment: str | None = None) -> None:
+    """Write a CSR matrix as ``coordinate real general`` MatrixMarket."""
+    path = Path(path)
+    coo = m.to_coo()
+    with open(path, "w", encoding="ascii") as fh:
+        fh.write("%%MatrixMarket matrix coordinate real general\n")
+        if comment:
+            for line in comment.splitlines():
+                fh.write(f"% {line}\n")
+        fh.write(f"{m.n_rows} {m.n_cols} {m.nnz}\n")
+        for r, c, v in zip(coo.row + 1, coo.col + 1, coo.val):
+            fh.write(f"{int(r)} {int(c)} {float(v):.17g}\n")

@@ -1,0 +1,53 @@
+"""Structural validation of CSR containers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import SparseFormatError
+
+
+def validate_csr(m) -> None:
+    """Raise :class:`SparseFormatError` unless ``m`` is a valid CSR matrix.
+
+    Checks performed:
+
+    * ``rpt`` has length ``n_rows + 1``, starts at 0, ends at ``nnz`` and is
+      monotone non-decreasing;
+    * ``col`` and ``val`` have equal length ``nnz``;
+    * every column index is inside ``[0, n_cols)``;
+    * values are finite-dtype floats (float32/float64).
+
+    Canonical ordering (sorted columns, no duplicates) is *not* required
+    here -- algorithms that need it call :meth:`CSRMatrix.is_canonical`.
+    """
+    n_rows, n_cols = m.shape
+    if n_rows < 0 or n_cols < 0:
+        raise SparseFormatError(f"negative shape {m.shape}")
+    if m.rpt.ndim != 1 or m.rpt.shape[0] != n_rows + 1:
+        raise SparseFormatError(
+            f"rpt has shape {m.rpt.shape}, expected ({n_rows + 1},)")
+    if m.col.ndim != 1 or m.val.ndim != 1:
+        raise SparseFormatError("col/val must be one-dimensional")
+    if m.col.shape[0] != m.val.shape[0]:
+        raise SparseFormatError(
+            f"col ({m.col.shape[0]}) and val ({m.val.shape[0]}) lengths differ")
+    if n_rows == 0:
+        if m.rpt[0] != 0:
+            raise SparseFormatError("rpt[0] must be 0")
+    else:
+        if m.rpt[0] != 0:
+            raise SparseFormatError(f"rpt[0] = {m.rpt[0]}, expected 0")
+        if m.rpt[-1] != m.col.shape[0]:
+            raise SparseFormatError(
+                f"rpt[-1] = {m.rpt[-1]} but nnz = {m.col.shape[0]}")
+        if np.any(np.diff(m.rpt) < 0):
+            raise SparseFormatError("rpt is not monotone non-decreasing")
+    if m.col.shape[0]:
+        cmin = int(m.col.min())
+        cmax = int(m.col.max())
+        if cmin < 0 or cmax >= n_cols:
+            raise SparseFormatError(
+                f"column indices span [{cmin}, {cmax}] outside [0, {n_cols})")
+    if m.val.dtype not in (np.float32, np.float64):
+        raise SparseFormatError(f"unsupported value dtype {m.val.dtype}")

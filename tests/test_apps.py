@@ -1,0 +1,160 @@
+"""Application-layer tests: AMG and graph algorithms built on SpGEMM."""
+
+import numpy as np
+import pytest
+
+from repro.apps.amg import (TwoLevelAMG, aggregate_poisson, galerkin_product,
+                            jacobi_solve)
+from repro.apps.graph import (column_stochastic, markov_cluster_step,
+                              squared_neighborhood, symmetrize,
+                              triangle_count)
+from repro.errors import ShapeMismatchError
+from repro.sparse import generators
+from repro.sparse.csr import CSRMatrix
+
+
+class TestAggregation:
+    def test_prolongation_shape(self):
+        P = aggregate_poisson(8, block=2)
+        assert P.shape == (64, 16)
+        assert P.nnz == 64                      # one aggregate per point
+
+    def test_partition_of_unity(self):
+        P = aggregate_poisson(8, block=4)
+        sums = P.matvec(np.ones(P.n_cols))
+        np.testing.assert_array_equal(sums, np.ones(64))
+
+    def test_bad_block(self):
+        with pytest.raises(ShapeMismatchError):
+            aggregate_poisson(9, block=2)
+
+
+class TestGalerkin:
+    def test_matches_dense_triple_product(self):
+        A = generators.poisson2d(8)
+        P = aggregate_poisson(8)
+        Ac, reports = galerkin_product(A, P)
+        dense = P.to_dense().T @ A.to_dense() @ P.to_dense()
+        np.testing.assert_allclose(Ac.to_dense(), dense, rtol=1e-12)
+        assert len(reports) == 2
+
+    def test_coarse_operator_spd(self):
+        A = generators.poisson2d(12)
+        P = aggregate_poisson(12, block=3)
+        Ac, _ = galerkin_product(A, P)
+        dense = Ac.to_dense()
+        np.testing.assert_allclose(dense, dense.T, atol=1e-12)
+        assert np.all(np.linalg.eigvalsh(dense) > -1e-10)
+
+    @pytest.mark.parametrize("algorithm", ["cusp", "cusparse", "bhsparse"])
+    def test_all_algorithms_agree(self, algorithm):
+        A = generators.poisson2d(6)
+        P = aggregate_poisson(6)
+        base, _ = galerkin_product(A, P, algorithm="proposal")
+        other, _ = galerkin_product(A, P, algorithm=algorithm)
+        assert other.allclose(base, rtol=1e-12)
+
+
+class TestTwoLevelAMG:
+    @pytest.fixture(scope="class")
+    def problem(self):
+        n = 16
+        A = generators.poisson2d(n)
+        P = aggregate_poisson(n, block=4)
+        rng = np.random.default_rng(3)
+        x_true = rng.random(A.n_rows)
+        return A, P, x_true, A.matvec(x_true)
+
+    def test_solver_converges(self, problem):
+        A, P, x_true, b = problem
+        amg = TwoLevelAMG(A, P)
+        x, cycles = amg.solve(b, tol=1e-8)
+        assert cycles < 200
+        np.testing.assert_allclose(x, x_true, rtol=1e-5, atol=1e-6)
+
+    def test_beats_jacobi(self, problem):
+        A, P, _, b = problem
+        amg = TwoLevelAMG(A, P)
+        _, amg_cycles = amg.solve(b, tol=1e-6)
+        _, jac_iters = jacobi_solve(A, b, tol=1e-6, max_iters=5000)
+        assert amg_cycles * 5 < jac_iters     # order-of-magnitude faster
+
+    def test_setup_reports_present(self, problem):
+        A, P, _, _ = problem
+        amg = TwoLevelAMG(A, P)
+        assert len(amg.setup_reports) == 2
+        assert all(r.total_seconds > 0 for r in amg.setup_reports)
+
+    def test_singular_diagonal_rejected(self):
+        m = CSRMatrix.from_dense(np.array([[0.0, 1.0], [1.0, 0.0]]))
+        P = CSRMatrix.identity(2)
+        with pytest.raises(ShapeMismatchError, match="diagonal"):
+            TwoLevelAMG(m, P)
+
+
+class TestGraphAlgorithms:
+    def test_triangle_count_k4(self):
+        """K4 has exactly 4 triangles."""
+        dense = np.ones((4, 4)) - np.eye(4)
+        assert triangle_count(CSRMatrix.from_dense(dense)) == 4
+
+    def test_triangle_count_cycle(self):
+        """A 5-cycle has no triangles."""
+        n = 5
+        dense = np.zeros((n, n))
+        for i in range(n):
+            dense[i, (i + 1) % n] = 1
+            dense[(i + 1) % n, i] = 1
+        assert triangle_count(CSRMatrix.from_dense(dense)) == 0
+
+    def test_triangle_count_vs_trace(self, rng):
+        A = symmetrize(generators.rmat(6, 3, rng=rng))
+        dense = A.to_dense()
+        expected = int(round(np.trace(dense @ dense @ dense) / 6))
+        assert triangle_count(A) == expected
+
+    def test_symmetrize(self, rng):
+        A = generators.rmat(5, 3, rng=rng)
+        S = symmetrize(A)
+        dense = S.to_dense()
+        np.testing.assert_array_equal(dense, dense.T)
+        assert np.all(np.diag(dense) == 0)
+
+    def test_squared_neighborhood_reaches_two_hops(self):
+        # path graph 0-1-2: 0 reaches 2 in A^2
+        dense = np.array([[0, 1, 0], [1, 0, 1], [0, 1, 0]], dtype=float)
+        two_hop = squared_neighborhood(CSRMatrix.from_dense(dense))
+        assert two_hop.to_dense()[0, 2] > 0
+
+    def test_column_stochastic(self, rng):
+        A = symmetrize(generators.rmat(5, 2, rng=rng))
+        M = column_stochastic(A)
+        sums = np.zeros(M.n_cols)
+        np.add.at(sums, M.col, M.val)
+        np.testing.assert_allclose(sums, np.ones(M.n_cols), rtol=1e-12)
+
+    def test_markov_step_keeps_stochastic(self, rng):
+        A = symmetrize(generators.rmat(5, 2, rng=rng))
+        M = column_stochastic(A)
+        M2 = markov_cluster_step(M)
+        sums = np.zeros(M2.n_cols)
+        np.add.at(sums, M2.col, M2.val)
+        np.testing.assert_allclose(sums[sums > 0], 1.0, rtol=1e-10)
+
+    def test_markov_iteration_converges_two_blocks(self):
+        """Two disconnected cliques: MCL converges to per-clique attractors
+        with no cross-cluster mass."""
+        dense = np.zeros((6, 6))
+        dense[:3, :3] = 1 - np.eye(3)
+        dense[3:, 3:] = 1 - np.eye(3)
+        M = column_stochastic(CSRMatrix.from_dense(dense))
+        for _ in range(8):
+            M = markov_cluster_step(M)
+        final = M.to_dense()
+        assert np.all(final[:3, 3:] == 0)
+        assert np.all(final[3:, :3] == 0)
+
+    def test_non_square_rejected(self, rng):
+        A = generators.random_csr(4, 5, 2, rng=rng)
+        with pytest.raises(ShapeMismatchError):
+            triangle_count(A)

@@ -1,0 +1,71 @@
+"""Tests for the CG solver with AMG preconditioning."""
+
+import numpy as np
+import pytest
+
+from repro.apps.amg import aggregate_poisson
+from repro.apps.solver import amg_preconditioned_cg, conjugate_gradient
+from repro.errors import ShapeMismatchError
+from repro.sparse.csr import CSRMatrix
+from repro.sparse.generators import poisson2d
+
+
+@pytest.fixture(scope="module")
+def problem():
+    n = 24
+    A = poisson2d(n)
+    P = aggregate_poisson(n, block=4)
+    rng = np.random.default_rng(11)
+    x_true = rng.random(A.n_rows)
+    return A, P, x_true, A.matvec(x_true)
+
+
+class TestPlainCG:
+    def test_solves_poisson(self, problem):
+        A, _, x_true, b = problem
+        x, stats = conjugate_gradient(A, b, tol=1e-10)
+        assert stats.converged
+        np.testing.assert_allclose(x, x_true, rtol=1e-6, atol=1e-8)
+
+    def test_exact_in_n_iterations(self):
+        A = CSRMatrix.from_dense(np.diag([1.0, 2.0, 3.0]))
+        b = np.array([1.0, 1.0, 1.0])
+        x, stats = conjugate_gradient(A, b, tol=1e-12)
+        assert stats.iterations <= 3
+        np.testing.assert_allclose(x, b / np.array([1.0, 2.0, 3.0]))
+
+    def test_zero_rhs(self, problem):
+        A, _, _, _ = problem
+        x, stats = conjugate_gradient(A, np.zeros(A.n_rows))
+        np.testing.assert_array_equal(x, 0.0)
+        assert stats.converged
+
+    def test_shape_errors(self, problem):
+        A, _, _, _ = problem
+        with pytest.raises(ShapeMismatchError):
+            conjugate_gradient(A, np.ones(3))
+        rect = CSRMatrix.empty((3, 5))
+        with pytest.raises(ShapeMismatchError):
+            conjugate_gradient(rect, np.ones(5))
+
+
+class TestAMGPreconditionedCG:
+    def test_converges_faster_than_plain(self, problem):
+        A, P, x_true, b = problem
+        _, plain = conjugate_gradient(A, b, tol=1e-8)
+        x, pre = amg_preconditioned_cg(A, P, b, tol=1e-8)
+        assert pre.converged
+        assert pre.iterations < plain.iterations
+        np.testing.assert_allclose(x, x_true, rtol=1e-5, atol=1e-7)
+
+    def test_setup_time_reported(self, problem):
+        A, P, _, b = problem
+        _, stats = amg_preconditioned_cg(A, P, b)
+        assert stats.setup_seconds > 0
+
+    @pytest.mark.parametrize("algorithm", ["cusp", "bhsparse"])
+    def test_any_spgemm_backend(self, problem, algorithm):
+        A, P, x_true, b = problem
+        x, stats = amg_preconditioned_cg(A, P, b, algorithm=algorithm)
+        assert stats.converged
+        np.testing.assert_allclose(x, x_true, rtol=1e-5, atol=1e-7)

@@ -1,0 +1,110 @@
+"""Tests for the CLI and the timeline renderer."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.gpu.timeline import KernelRecord
+from repro.gpu.trace import concurrency_profile, render_timeline, stream_utilization
+
+
+def rec(name, stream, start, end):
+    return KernelRecord(name=name, phase="calc", stream=stream, start=start,
+                        end=end, n_blocks=1, block_seconds=end - start)
+
+
+class TestTrace:
+    def test_empty(self):
+        assert render_timeline([]) == "(no kernels)"
+
+    def test_bars_positioned(self):
+        text = render_timeline([rec("a", 0, 0.0, 0.5), rec("b", 1, 0.5, 1.0)],
+                               width=20)
+        lines = text.splitlines()
+        assert lines[0].startswith("a s0 |==========")
+        assert "| " in lines[1]
+        a_bar = lines[0].split("|")[1]
+        b_bar = lines[1].split("|")[1]
+        # a occupies the left half, b the right half
+        assert a_bar[:10].strip("=") == ""
+        assert b_bar[:10].strip() == ""
+
+    def test_minimum_one_char_bar(self):
+        text = render_timeline([rec("tiny", 0, 0.0, 1e-9),
+                                rec("long", 0, 0.0, 1.0)], width=30)
+        assert "=" in text.splitlines()[0]
+
+    def test_stream_utilization(self):
+        util = stream_utilization([rec("a", 1, 0.0, 0.6),
+                                   rec("b", 2, 0.0, 1.0)])
+        assert util[1] == pytest.approx(0.6)
+        assert util[2] == pytest.approx(1.0)
+
+    def test_concurrency_profile(self):
+        prof = concurrency_profile([rec("a", 1, 0.0, 1.0),
+                                    rec("b", 2, 0.0, 0.5)], samples=10)
+        assert max(prof) == 2
+        assert min(prof) == 1
+
+    def test_concurrency_empty(self):
+        assert concurrency_profile([]) == []
+
+
+class TestCLI:
+    def test_info(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "Tesla P100" in out and "PWARP/ROW" in out
+
+    def test_info_k40(self, capsys):
+        assert main(["info", "--device", "K40"]) == 0
+        assert "K40" in capsys.readouterr().out
+
+    def test_multiply_generated(self, capsys):
+        assert main(["multiply", "--generate", "stencil:500:4",
+                     "--algorithm", "proposal", "--precision", "single",
+                     "--timeline"]) == 0
+        out = capsys.readouterr().out
+        assert "GFLOPS" in out
+        assert "numeric" in out        # timeline includes numeric kernels
+
+    def test_multiply_mtx_file(self, capsys, tmp_path, rng):
+        from repro.sparse import generators
+        from repro.sparse.io import write_matrix_market
+
+        A = generators.banded(80, 6, rng=rng)
+        path = tmp_path / "a.mtx"
+        write_matrix_market(path, A)
+        assert main(["multiply", "--matrix", str(path),
+                     "--algorithm", "cusp"]) == 0
+        assert "cusp" in capsys.readouterr().out
+
+    def test_multiply_dataset(self, capsys):
+        assert main(["multiply", "--dataset", "Epidemiology",
+                     "--precision", "single"]) == 0
+        assert "Epidemiology" in capsys.readouterr().out
+
+    def test_generate_spec_errors(self):
+        with pytest.raises(SystemExit):
+            main(["multiply", "--generate", "banded-2000-30"])
+        with pytest.raises(SystemExit):
+            main(["multiply", "--generate", "fractal:10:2"])
+
+    def test_datasets_listing(self, capsys):
+        assert main(["datasets"]) == 0
+        out = capsys.readouterr().out
+        assert "Protein" in out and "(paper)" in out
+
+    def test_memory_planning(self, capsys):
+        assert main(["memory", "--precision", "double"]) == 0
+        out = capsys.readouterr().out
+        assert "cusparse" in out and "geomean" in out
+
+    def test_suite_large(self, capsys):
+        assert main(["suite", "--large", "--precision", "single"]) == 0
+        out = capsys.readouterr().out
+        assert "cage15" in out and "geomean" in out
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])

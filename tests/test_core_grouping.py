@@ -1,0 +1,75 @@
+"""Row-grouping tests (steps (2) and (6) of Figure 1)."""
+
+import numpy as np
+import pytest
+
+from repro.core.grouping import group_rows
+from repro.core.params import build_group_table
+from repro.errors import AlgorithmError
+from repro.gpu.device import P100
+
+
+@pytest.fixture(scope="module")
+def table():
+    return build_group_table(P100)
+
+
+class TestPartition:
+    def test_every_row_in_exactly_one_group(self, table, rng):
+        counts = rng.integers(0, 20000, 5000)
+        a = group_rows(counts, table, "products")
+        seen = np.concatenate(a.rows_by_group)
+        assert np.sort(seen).tolist() == list(range(5000))
+
+    def test_gids_consistent_with_groups(self, table, rng):
+        counts = rng.integers(0, 5000, 1000)
+        a = group_rows(counts, table, "nnz")
+        for gid, rows in enumerate(a.rows_by_group):
+            assert np.all(a.gids[rows] == gid)
+
+    def test_boundary_values_products(self, table):
+        # Table I boundaries: 32 -> pwarp; 33 -> g5; 512 -> g5; 513 -> g4;
+        # 8192 -> g1; 8193 -> g0
+        counts = np.array([0, 32, 33, 512, 513, 8192, 8193])
+        a = group_rows(counts, table, "products")
+        assert a.gids.tolist() == [6, 6, 5, 5, 4, 1, 0]
+
+    def test_boundary_values_nnz(self, table):
+        counts = np.array([0, 16, 17, 256, 257, 4096, 4097])
+        a = group_rows(counts, table, "nnz")
+        assert a.gids.tolist() == [6, 6, 5, 5, 4, 1, 0]
+
+    def test_rows_sorted_within_group(self, table, rng):
+        counts = rng.integers(0, 1000, 500)
+        a = group_rows(counts, table, "products")
+        for rows in a.rows_by_group:
+            assert np.all(np.diff(rows) > 0) or rows.shape[0] <= 1
+
+
+class TestAccessors:
+    def test_group_sizes(self, table):
+        counts = np.array([10, 10, 100, 5000])
+        a = group_rows(counts, table, "nnz")
+        sizes = a.group_sizes()
+        assert sum(sizes) == 4
+        assert sizes[6] == 2      # the two 10-nnz rows
+
+    def test_nonempty_skips_empty_groups(self, table):
+        counts = np.full(10, 5)   # all pwarp
+        a = group_rows(counts, table, "nnz")
+        nonempty = a.nonempty()
+        assert len(nonempty) == 1
+        assert nonempty[0][0].gid == table.pwarp_group.gid
+
+    def test_device_bytes_is_4_per_row(self, table):
+        counts = np.zeros(100, dtype=np.int64)
+        a = group_rows(counts, table, "nnz")
+        assert a.device_bytes() == 400
+
+    def test_unknown_metric(self, table):
+        with pytest.raises(AlgorithmError, match="metric"):
+            group_rows(np.zeros(3, dtype=np.int64), table, "bogus")
+
+    def test_empty_matrix(self, table):
+        a = group_rows(np.zeros(0, dtype=np.int64), table, "products")
+        assert a.n_rows == 0

@@ -1,0 +1,92 @@
+"""Tests for the per-row work-estimation helpers (core/work.py)."""
+
+import numpy as np
+import pytest
+
+from repro.core import work as W
+from repro.types import Precision
+
+
+def _f(x):
+    """Scalar of a length-1 array."""
+    return float(np.asarray(x).reshape(-1)[0])
+
+
+class TestStreamBytes:
+    def test_symbolic_components(self):
+        # one A nonzero, 10 products: rpt pair + col_A + waste + cols + write
+        got = _f(W.stream_bytes_symbolic(np.array([1.0]), np.array([10.0])))
+        assert got == 8 + 4 + W.SEGMENT_WASTE_BYTES + 40 + 4
+
+    def test_numeric_exceeds_symbolic(self):
+        nnz_a = np.array([4.0])
+        nprod = np.array([20.0])
+        sym = W.stream_bytes_symbolic(nnz_a, nprod)
+        num = W.stream_bytes_numeric(nnz_a, nprod, np.array([10.0]),
+                                     Precision.SINGLE)
+        assert _f(num) > _f(sym)
+
+    def test_double_precision_more_bytes(self):
+        args = (np.array([4.0]), np.array([20.0]), np.array([10.0]))
+        s = W.stream_bytes_numeric(*args, Precision.SINGLE)
+        d = W.stream_bytes_numeric(*args, Precision.DOUBLE)
+        assert _f(d) > _f(s)
+
+    def test_scattered_is_one_per_a_nonzero(self):
+        np.testing.assert_array_equal(
+            W.scattered_transactions(np.array([3.0, 7.0])), [3.0, 7.0])
+
+
+class TestHashWork:
+    def test_symbolic_includes_init(self):
+        ops, atomics = W.shared_hash_symbolic(np.array([0.0]),
+                                              np.array([0.0]), 256)
+        assert _f(ops) >= 256          # table init even with no products
+        assert _f(atomics) == 0.0
+
+    def test_probes_grow_with_load(self):
+        light, _ = W.shared_hash_symbolic(np.array([100.0]),
+                                          np.array([10.0]), 256)
+        heavy, _ = W.shared_hash_symbolic(np.array([100.0]),
+                                          np.array([200.0]), 256)
+        assert _f(heavy) > _f(light)
+
+    def test_numeric_adds_value_traffic_and_sort(self):
+        nprod = np.array([100.0])
+        nnz = np.array([50.0])
+        s_ops, s_atomics = W.shared_hash_symbolic(nprod, nnz, 256)
+        n_ops, n_atomics, sort = W.shared_hash_numeric(nprod, nnz, 256,
+                                                       Precision.DOUBLE)
+        assert _f(n_ops) > _f(s_ops)
+        assert _f(n_atomics) > _f(s_atomics)
+        assert _f(sort) == 2500.0      # nnz^2 rank sort
+
+    def test_global_numeric_uses_bitonic_sort(self):
+        nnz = np.array([1024.0])
+        _, _, sort = W.global_hash_numeric(np.array([4096.0]), nnz,
+                                           np.array([4096.0]))
+        assert _f(sort) == pytest.approx(1024 * 10 * 10)  # n log^2 n
+
+    def test_global_counts_are_random_traffic(self):
+        rand, atomics = W.global_hash_symbolic(np.array([100.0]),
+                                               np.array([50.0]),
+                                               np.array([256.0]))
+        assert _f(rand) > 0 and _f(atomics) >= 50.0
+
+
+class TestPwarpSerial:
+    def test_width_reduces_serial(self):
+        args = (np.array([8.0]), np.array([32.0]))
+        s1 = _f(W.pwarp_serial_cycles(*args, 1, 300))
+        s4 = _f(W.pwarp_serial_cycles(*args, 4, 300))
+        s16 = _f(W.pwarp_serial_cycles(*args, 16, 300))
+        assert s1 > s4 > s16
+
+    def test_latency_term_quantized_by_ceil(self):
+        # 5 A-nonzeros over width 4 -> two dependent fetch rounds
+        s = _f(W.pwarp_serial_cycles(np.array([5.0]), np.array([0.0]),
+                                        4, 300))
+        assert s == pytest.approx(2 * 300)
+
+    def test_flops_are_two_per_product(self):
+        np.testing.assert_array_equal(W.hash_flops(np.array([5.0])), [10.0])

@@ -1,0 +1,142 @@
+"""Discrete-event block scheduler tests: conservation, streams, imbalance."""
+
+import numpy as np
+import pytest
+
+from repro.gpu.device import P100
+from repro.gpu.kernel import BlockWorks, KernelLaunch
+from repro.gpu.scheduler import simulate_phase
+
+
+def uniform_kernel(n_blocks, flops_per_block=1e5, threads=256, shared=0,
+                   stream=0, name="k"):
+    return KernelLaunch(
+        name=name, block_threads=threads, shared_bytes_per_block=shared,
+        works=BlockWorks(n_blocks=n_blocks,
+                         flops=np.full(n_blocks, flops_per_block)),
+        stream=stream)
+
+
+class TestBasics:
+    def test_empty_phase(self):
+        sched = simulate_phase([], P100, "single")
+        assert sched.duration == 0.0
+
+    def test_single_kernel_completes(self):
+        sched = simulate_phase([uniform_kernel(100)], P100, "single")
+        assert len(sched.records) == 1
+        rec = sched.records[0]
+        assert rec.n_blocks == 100
+        assert rec.end > rec.start >= 0
+
+    def test_start_time_offsets_schedule(self):
+        a = simulate_phase([uniform_kernel(10)], P100, "single")
+        b = simulate_phase([uniform_kernel(10)], P100, "single",
+                           start_time=1.0)
+        assert b.records[0].end == pytest.approx(1.0 + a.records[0].end)
+
+    def test_launch_latency_delays_start(self):
+        sched = simulate_phase([uniform_kernel(1)], P100, "single")
+        assert sched.records[0].start >= P100.kernel_launch_us * 1e-6
+
+
+class TestWaveBehaviour:
+    def test_makespan_scales_with_waves(self):
+        slots = P100.sm_count * 8   # 256 threads, no shared -> 8 blocks/SM
+        one_wave = simulate_phase([uniform_kernel(slots)], P100, "single")
+        four_waves = simulate_phase([uniform_kernel(4 * slots)], P100,
+                                    "single")
+        ratio = four_waves.duration / one_wave.duration
+        assert 3.0 < ratio < 5.0
+
+    def test_uniform_blocks_near_analytic_bound(self):
+        from repro.gpu.cost import kernel_duration_alone
+
+        k = uniform_kernel(2000, flops_per_block=2e5)
+        sched = simulate_phase([k], P100, "single")
+        bound = kernel_duration_alone(k, P100, "single")
+        start = sched.records[0].start
+        assert sched.duration - start >= bound * 0.95
+        assert sched.duration - start <= bound * 1.5
+
+    def test_one_giant_block_dominates_makespan(self):
+        # the webbase pathology: one row 100x the others
+        flops = np.full(500, 1e4)
+        flops[250] = 1e7
+        k = KernelLaunch(name="imb", block_threads=256,
+                         shared_bytes_per_block=0,
+                         works=BlockWorks(n_blocks=500, flops=flops))
+        sched = simulate_phase([k], P100, "single")
+        giant_seconds = 1e7 / P100.flops_per_cycle_per_sm(False) / P100.clock_hz
+        assert sched.duration >= giant_seconds
+
+
+class TestStreams:
+    def test_same_stream_serializes(self):
+        ks = [uniform_kernel(50, stream=3, name="a"),
+              uniform_kernel(50, stream=3, name="b")]
+        sched = simulate_phase(ks, P100, "single")
+        a, b = sched.records
+        assert b.start >= a.end
+
+    def test_different_streams_overlap(self):
+        # two slow kernels that together underfill the device
+        ks = [uniform_kernel(20, flops_per_block=1e7, stream=1, name="a"),
+              uniform_kernel(20, flops_per_block=1e7, stream=2, name="b")]
+        sched = simulate_phase(ks, P100, "single")
+        a, b = sched.records
+        assert b.start < a.end     # concurrent
+
+    def test_use_streams_false_serializes_everything(self):
+        ks = [uniform_kernel(20, flops_per_block=1e7, stream=1),
+              uniform_kernel(20, flops_per_block=1e7, stream=2)]
+        con = simulate_phase(ks, P100, "single", use_streams=True)
+        ser = simulate_phase(ks, P100, "single", use_streams=False)
+        assert ser.duration > 1.5 * con.duration
+
+    def test_streams_do_not_oversubscribe_sms(self):
+        # two full-wave kernels on different streams cannot finish faster
+        # than the resource bound
+        slots = P100.sm_count * 8
+        ks = [uniform_kernel(slots, stream=1),
+              uniform_kernel(slots, stream=2)]
+        both = simulate_phase(ks, P100, "single")
+        one = simulate_phase([uniform_kernel(slots, stream=1)], P100,
+                             "single")
+        assert both.duration >= 1.8 * (one.duration - one.records[0].start)
+
+    def test_stream_chain_of_three(self):
+        ks = [uniform_kernel(10, stream=1, name=f"k{i}") for i in range(3)]
+        sched = simulate_phase(ks, P100, "single")
+        r = sched.records
+        assert r[1].start >= r[0].end and r[2].start >= r[1].end
+
+
+class TestConservation:
+    def test_every_block_runs_exactly_once(self):
+        ks = [uniform_kernel(37, stream=1), uniform_kernel(91, stream=2)]
+        sched = simulate_phase(ks, P100, "single")
+        assert [r.n_blocks for r in sched.records] == [37, 91]
+        # device-seconds actually executed match the per-block durations
+        for rec, k in zip(sched.records, ks):
+            from repro.gpu.cost import block_durations
+
+            assert rec.block_seconds == pytest.approx(
+                float(block_durations(k, P100, "single").sum()))
+
+    def test_makespan_at_least_total_work_over_capacity(self):
+        k = uniform_kernel(1000, flops_per_block=1e5)
+        sched = simulate_phase([k], P100, "single")
+        total = sched.records[0].block_seconds
+        assert sched.duration >= total / (P100.sm_count * 8)
+
+    def test_shared_memory_limits_concurrency(self):
+        # 48KB blocks: one per SM -> 10 blocks on 56 SMs take ~1 wave;
+        # but 112 blocks need exactly 2 waves
+        k1 = uniform_kernel(56, shared=48 * 1024, threads=64)
+        k2 = uniform_kernel(112, shared=48 * 1024, threads=64)
+        s1 = simulate_phase([k1], P100, "single")
+        s2 = simulate_phase([k2], P100, "single")
+        d1 = s1.duration - s1.records[0].start
+        d2 = s2.duration - s2.records[0].start
+        assert d2 > 1.7 * d1

@@ -1,0 +1,89 @@
+"""Tests for the COO container and its canonical CSR conversion."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SparseFormatError
+from repro.sparse.coo import COOMatrix
+
+
+def make(rows, cols, vals, shape, **kw):
+    return COOMatrix(np.asarray(rows), np.asarray(cols),
+                     np.asarray(vals, dtype=np.float64), shape, **kw)
+
+
+class TestValidation:
+    def test_basic(self):
+        m = make([0, 1], [1, 0], [1.0, 2.0], (2, 2))
+        assert m.nnz == 2
+
+    def test_length_mismatch(self):
+        with pytest.raises(SparseFormatError, match="disagree"):
+            make([0, 1], [1], [1.0], (2, 2))
+
+    def test_row_out_of_range(self):
+        with pytest.raises(SparseFormatError, match="row index"):
+            make([5], [0], [1.0], (2, 2))
+
+    def test_col_out_of_range(self):
+        with pytest.raises(SparseFormatError, match="column index"):
+            make([0], [9], [1.0], (2, 2))
+
+    def test_negative_index(self):
+        with pytest.raises(SparseFormatError):
+            make([-1], [0], [1.0], (2, 2))
+
+    def test_empty_ok(self):
+        assert make([], [], [], (3, 3)).nnz == 0
+
+
+class TestToCSR:
+    def test_sorts_and_builds(self):
+        m = make([1, 0, 0], [0, 2, 1], [3.0, 1.0, 2.0], (2, 3)).to_csr()
+        np.testing.assert_array_equal(m.rpt, [0, 2, 3])
+        np.testing.assert_array_equal(m.col, [1, 2, 0])
+        np.testing.assert_array_equal(m.val, [2.0, 1.0, 3.0])
+
+    def test_duplicates_summed(self):
+        # MatrixMarket / ESC-contraction semantics
+        m = make([0, 0, 0], [1, 1, 1], [1.0, 2.0, 4.0], (1, 2)).to_csr()
+        assert m.nnz == 1
+        assert m.val[0] == 7.0
+
+    def test_duplicate_sum_across_rows_independent(self):
+        m = make([0, 1, 0, 1], [0, 0, 0, 0], [1.0, 10.0, 2.0, 20.0],
+                 (2, 1)).to_csr()
+        np.testing.assert_array_equal(m.val, [3.0, 30.0])
+
+    def test_empty(self):
+        m = make([], [], [], (4, 4)).to_csr()
+        assert m.nnz == 0 and m.shape == (4, 4)
+
+    def test_result_is_canonical(self, rng):
+        n = 50
+        rows = rng.integers(0, n, 500)
+        cols = rng.integers(0, n, 500)
+        vals = rng.random(500)
+        m = make(rows, cols, vals, (n, n)).to_csr()
+        assert m.is_canonical()
+
+    def test_matches_dense_accumulation(self, rng):
+        n = 20
+        rows = rng.integers(0, n, 200)
+        cols = rng.integers(0, n, 200)
+        vals = rng.random(200)
+        dense = np.zeros((n, n))
+        np.add.at(dense, (rows, cols), vals)
+        m = make(rows, cols, vals, (n, n)).to_csr()
+        np.testing.assert_allclose(m.to_dense(), dense)
+
+    def test_float32_preserved(self):
+        m = COOMatrix(np.array([0]), np.array([0]),
+                      np.array([1.0], dtype=np.float32), (1, 1)).to_csr()
+        assert m.dtype == np.float32
+
+
+def test_device_bytes():
+    m = make([0, 1], [1, 0], [1.0, 2.0], (2, 2))
+    assert m.device_bytes("double") == 2 * (4 + 4 + 8)
+    assert m.device_bytes("single") == 2 * (4 + 4 + 4)

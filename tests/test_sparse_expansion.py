@@ -1,0 +1,137 @@
+"""Tests for the expansion machinery (Alg. 2 counts, ESC expansion,
+contraction, symbolic nnz oracle)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeMismatchError
+from repro.sparse import generators
+from repro.sparse.csr import CSRMatrix
+from repro.sparse.expansion import (contract, expand_products,
+                                    intermediate_product_counts,
+                                    symbolic_row_nnz)
+
+from tests.conftest import to_scipy
+
+
+def brute_force_counts(A, B):
+    """Literal Algorithm 2."""
+    counts = np.zeros(A.n_rows, dtype=np.int64)
+    for i in range(A.n_rows):
+        for j in range(int(A.rpt[i]), int(A.rpt[i + 1])):
+            k = int(A.col[j])
+            counts[i] += int(B.rpt[k + 1] - B.rpt[k])
+    return counts
+
+
+class TestIntermediateProductCounts:
+    def test_matches_brute_force(self, small_random):
+        expected = brute_force_counts(small_random, small_random)
+        got = intermediate_product_counts(small_random, small_random)
+        np.testing.assert_array_equal(got, expected)
+
+    def test_rectangular(self, rng):
+        A = generators.random_csr(15, 25, 5, rng=rng)
+        B = generators.random_csr(25, 10, 3, rng=rng)
+        np.testing.assert_array_equal(
+            intermediate_product_counts(A, B), brute_force_counts(A, B))
+
+    def test_tiny_known(self, tiny):
+        # row 0 of tiny has cols {0, 2}; rows 0 and 2 of tiny have 2 nnz each
+        counts = intermediate_product_counts(tiny, tiny)
+        assert counts[0] == tiny.row_nnz()[0] + tiny.row_nnz()[2]
+
+    def test_empty_rows_zero(self):
+        A = CSRMatrix.empty((4, 4))
+        np.testing.assert_array_equal(
+            intermediate_product_counts(A, A), np.zeros(4))
+
+    def test_shape_mismatch(self, tiny, rng):
+        B = generators.random_csr(9, 9, 2, rng=rng)
+        with pytest.raises(ShapeMismatchError):
+            intermediate_product_counts(tiny, B)
+
+    def test_identity_counts_equal_nnz_per_row(self, small_random):
+        eye = CSRMatrix.identity(small_random.n_cols)
+        np.testing.assert_array_equal(
+            intermediate_product_counts(small_random, eye),
+            small_random.row_nnz())
+
+
+class TestExpandProducts:
+    def test_total_matches_counts(self, small_random):
+        exp = expand_products(small_random, small_random)
+        assert exp.n_products == int(exp.row_counts.sum())
+        np.testing.assert_array_equal(
+            exp.row_counts,
+            intermediate_product_counts(small_random, small_random))
+
+    def test_contracted_expansion_equals_scipy(self, small_random):
+        exp = expand_products(small_random, small_random)
+        C = contract(exp.rows, exp.cols, exp.vals, small_random.shape,
+                     small_random.dtype)
+        expected = to_scipy(small_random) @ to_scipy(small_random)
+        np.testing.assert_allclose(C.to_dense(), expected.toarray(),
+                                   rtol=1e-12)
+
+    def test_symbolic_only_skips_values(self, small_random):
+        exp = expand_products(small_random, small_random, with_values=False)
+        assert exp.vals.shape[0] == 0
+        assert exp.rows.shape[0] == exp.n_products
+
+    def test_empty_product(self):
+        A = CSRMatrix.empty((3, 3))
+        exp = expand_products(A, A)
+        assert exp.n_products == 0
+
+    def test_products_grouped_by_row(self, small_banded):
+        exp = expand_products(small_banded, small_banded)
+        # rows array is non-decreasing (products emitted row by row)
+        assert np.all(np.diff(exp.rows) >= 0)
+
+
+class TestContract:
+    def test_sums_duplicates(self):
+        rows = np.array([0, 0, 1])
+        cols = np.array([1, 1, 0])
+        vals = np.array([2.0, 3.0, 4.0])
+        C = contract(rows, cols, vals, (2, 2), np.dtype(np.float64))
+        assert C.nnz == 2
+        assert C.to_dense()[0, 1] == 5.0
+
+    def test_empty(self):
+        C = contract(np.empty(0, np.int64), np.empty(0, np.int64),
+                     np.empty(0), (2, 2), np.dtype(np.float64))
+        assert C.nnz == 0
+
+    def test_output_canonical(self, rng):
+        n = 30
+        rows = rng.integers(0, n, 300)
+        cols = rng.integers(0, n, 300)
+        C = contract(rows, cols, rng.random(300), (n, n), np.dtype(np.float64))
+        assert C.is_canonical()
+
+    def test_float32_accumulates_in_double(self):
+        # large + tiny + tiny in float32 would lose the tinies if summed
+        # in input precision; contract accumulates in float64
+        rows = np.zeros(3, dtype=np.int64)
+        cols = np.zeros(3, dtype=np.int64)
+        vals = np.array([1.0, 2.0 ** -20, 2.0 ** -20], dtype=np.float32)
+        C = contract(rows, cols, vals, (1, 1), np.dtype(np.float32))
+        assert C.val[0] == np.float32(1.0 + 2.0 ** -19)
+
+
+class TestSymbolicRowNnz:
+    def test_matches_scipy_pattern(self, small_random):
+        expected = (to_scipy(small_random) @ to_scipy(small_random)).tocsr()
+        got = symbolic_row_nnz(small_random, small_random)
+        np.testing.assert_array_equal(got, np.diff(expected.indptr))
+
+    def test_at_most_products(self, small_banded):
+        nnz = symbolic_row_nnz(small_banded, small_banded)
+        prods = intermediate_product_counts(small_banded, small_banded)
+        assert np.all(nnz <= prods)
+
+    def test_empty(self):
+        A = CSRMatrix.empty((3, 3))
+        np.testing.assert_array_equal(symbolic_row_nnz(A, A), np.zeros(3))

@@ -1,0 +1,106 @@
+"""Tests for the workload generators."""
+
+import numpy as np
+import pytest
+
+from repro.sparse import generators as G
+from repro.sparse.validate import validate_csr
+
+
+ALL = [
+    ("random_csr", lambda rng: G.random_csr(200, 200, 8, rng=rng)),
+    ("banded", lambda rng: G.banded(200, 10, rng=rng)),
+    ("block_dense", lambda rng: G.block_dense(96, 16, rng=rng)),
+    ("stencil", lambda rng: G.stencil_regular(200, 5, rng=rng)),
+    ("power_law", lambda rng: G.power_law(300, 4.0, 60, rng=rng)),
+    ("rmat", lambda rng: G.rmat(8, 4, rng=rng)),
+    ("poisson2d", lambda rng: G.poisson2d(10)),
+    ("diag_plus", lambda rng: G.diagonal_plus_random(150, 3.0, rng=rng)),
+]
+
+
+@pytest.mark.parametrize("name,gen", ALL, ids=[a for a, _ in ALL])
+class TestAllGenerators:
+    def test_structurally_valid(self, name, gen, rng):
+        validate_csr(gen(rng))  # raises on failure
+
+    def test_canonical(self, name, gen, rng):
+        assert gen(rng).is_canonical()
+
+    def test_deterministic_under_seed(self, name, gen):
+        a = gen(np.random.default_rng(7))
+        b = gen(np.random.default_rng(7))
+        assert a.allclose(b)
+
+    def test_values_nonzero(self, name, gen, rng):
+        m = gen(rng)
+        if name == "poisson2d":   # signed Laplacian stencil by design
+            assert np.all(m.val != 0)
+        else:
+            # positive values guarantee no accidental cancellation in tests
+            assert np.all(m.val > 0)
+
+
+class TestSpecificShapes:
+    def test_random_csr_density(self, rng):
+        m = G.random_csr(500, 500, 10, rng=rng)
+        assert 8.0 <= m.nnz / m.n_rows <= 10.5   # dedup loses a little
+
+    def test_banded_locality(self, rng):
+        m = G.banded(300, 10, bandwidth=15, rng=rng)
+        rows = np.repeat(np.arange(m.n_rows), m.row_nnz())
+        spread = np.abs(rows - m.col)
+        # overwhelmingly near-diagonal
+        assert np.quantile(spread, 0.95) < 60
+
+    def test_banded_has_diagonal(self, rng):
+        m = G.banded(100, 6, rng=rng)
+        dense = m.to_dense()
+        assert np.all(np.diag(dense) > 0)
+
+    def test_block_dense_blocks_full(self, rng):
+        m = G.block_dense(32, 8, coupling=0.0, rng=rng)
+        dense = m.to_dense()
+        assert np.all(dense[:8, :8] > 0)
+        assert np.all(dense[:8, 8:16] == 0)
+
+    def test_stencil_exact_degree(self, rng):
+        m = G.stencil_regular(400, 7, rng=rng)
+        np.testing.assert_array_equal(m.row_nnz(), np.full(400, 7))
+
+    def test_stencil_max_equals_mean(self, rng):
+        # the Epidemiology property of Table II: max nnz/row == mean
+        m = G.stencil_regular(1000, 4, rng=rng)
+        assert m.row_nnz().max() == 4 and m.row_nnz().min() == 4
+
+    def test_power_law_forces_max_row(self, rng):
+        m = G.power_law(1000, 3.0, 200, rng=rng)
+        assert m.row_nnz().max() >= 150     # dedup can trim a few
+        assert m.nnz / m.n_rows < 10
+
+    def test_rmat_shape(self, rng):
+        m = G.rmat(7, 8, rng=rng)
+        assert m.n_rows == 128
+        assert m.nnz <= 128 * 8
+
+    def test_poisson2d_is_laplacian(self):
+        m = G.poisson2d(5)
+        dense = m.to_dense()
+        np.testing.assert_allclose(dense, dense.T)
+        assert np.all(np.diag(dense) == 4.0)
+        np.testing.assert_array_less(np.abs(np.linalg.eigvalsh(dense)[0]),
+                                     1e-8 + 8.0)
+
+    def test_poisson2d_rectangular_grid(self):
+        m = G.poisson2d(4, 6)
+        assert m.shape == (24, 24)
+        # interior point has 5 nnz
+        assert m.row_nnz().max() == 5
+
+    def test_diag_plus_random_has_full_diagonal(self, rng):
+        m = G.diagonal_plus_random(80, 2.0, rng=rng)
+        assert np.all(np.diag(m.to_dense()) > 0)
+
+    def test_precision_option(self, rng):
+        m = G.banded(50, 4, rng=rng, precision="single")
+        assert m.dtype == np.float32

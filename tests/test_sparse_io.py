@@ -1,0 +1,131 @@
+"""MatrixMarket reader/writer tests."""
+
+import gzip
+
+import numpy as np
+import pytest
+
+from repro.errors import SparseFormatError
+from repro.sparse import generators
+from repro.sparse.io import read_matrix_market, write_matrix_market
+
+
+def test_round_trip(tmp_path, rng):
+    m = generators.random_csr(40, 30, 5, rng=rng)
+    path = tmp_path / "m.mtx"
+    write_matrix_market(path, m, comment="round trip")
+    back = read_matrix_market(path)
+    assert back.allclose(m, rtol=1e-12)
+
+
+def test_round_trip_preserves_shape_with_empty_rows(tmp_path):
+    from repro.sparse.csr import CSRMatrix
+
+    m = CSRMatrix(np.array([0, 0, 1, 1]), np.array([2]), np.array([5.0]),
+                  (3, 4))
+    path = tmp_path / "e.mtx"
+    write_matrix_market(path, m)
+    back = read_matrix_market(path)
+    assert back.shape == (3, 4)
+    assert back.to_dense()[1, 2] == 5.0
+
+
+def _write(path, text):
+    path.write_text(text, encoding="ascii")
+
+
+def test_symmetric_expansion(tmp_path):
+    _write(tmp_path / "s.mtx", "\n".join([
+        "%%MatrixMarket matrix coordinate real symmetric",
+        "3 3 3",
+        "1 1 2.0",
+        "2 1 5.0",
+        "3 3 1.0",
+    ]) + "\n")
+    m = read_matrix_market(tmp_path / "s.mtx")
+    dense = m.to_dense()
+    assert dense[0, 1] == 5.0 and dense[1, 0] == 5.0
+    assert m.nnz == 4  # diagonal entries not mirrored
+
+
+def test_pattern_field(tmp_path):
+    _write(tmp_path / "p.mtx", "\n".join([
+        "%%MatrixMarket matrix coordinate pattern general",
+        "2 2 2",
+        "1 2",
+        "2 1",
+    ]) + "\n")
+    m = read_matrix_market(tmp_path / "p.mtx")
+    assert m.nnz == 2
+    np.testing.assert_array_equal(m.to_dense(), [[0, 1], [1, 0]])
+
+
+def test_integer_field(tmp_path):
+    _write(tmp_path / "i.mtx", "\n".join([
+        "%%MatrixMarket matrix coordinate integer general",
+        "1 1 1",
+        "1 1 7",
+    ]) + "\n")
+    assert read_matrix_market(tmp_path / "i.mtx").val[0] == 7.0
+
+
+def test_comments_skipped(tmp_path):
+    _write(tmp_path / "c.mtx", "\n".join([
+        "%%MatrixMarket matrix coordinate real general",
+        "% a comment",
+        "% another",
+        "1 1 1",
+        "1 1 3.5",
+    ]) + "\n")
+    assert read_matrix_market(tmp_path / "c.mtx").val[0] == 3.5
+
+
+def test_duplicates_summed(tmp_path):
+    _write(tmp_path / "d.mtx", "\n".join([
+        "%%MatrixMarket matrix coordinate real general",
+        "1 1 2",
+        "1 1 1.0",
+        "1 1 2.5",
+    ]) + "\n")
+    assert read_matrix_market(tmp_path / "d.mtx").val[0] == 3.5
+
+
+def test_gzip_supported(tmp_path, rng):
+    m = generators.random_csr(10, 10, 3, rng=rng)
+    plain = tmp_path / "m.mtx"
+    write_matrix_market(plain, m)
+    gz = tmp_path / "m.mtx.gz"
+    gz.write_bytes(gzip.compress(plain.read_bytes()))
+    assert read_matrix_market(gz).allclose(m, rtol=1e-12)
+
+
+class TestErrors:
+    def test_missing_header(self, tmp_path):
+        _write(tmp_path / "x.mtx", "1 1 1\n1 1 1.0\n")
+        with pytest.raises(SparseFormatError, match="header"):
+            read_matrix_market(tmp_path / "x.mtx")
+
+    def test_array_format_rejected(self, tmp_path):
+        _write(tmp_path / "x.mtx",
+               "%%MatrixMarket matrix array real general\n1 1\n1.0\n")
+        with pytest.raises(SparseFormatError, match="coordinate"):
+            read_matrix_market(tmp_path / "x.mtx")
+
+    def test_complex_field_rejected(self, tmp_path):
+        _write(tmp_path / "x.mtx",
+               "%%MatrixMarket matrix coordinate complex general\n"
+               "1 1 1\n1 1 1.0 0.0\n")
+        with pytest.raises(SparseFormatError, match="field"):
+            read_matrix_market(tmp_path / "x.mtx")
+
+    def test_truncated_body(self, tmp_path):
+        _write(tmp_path / "x.mtx",
+               "%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 1.0\n")
+        with pytest.raises(SparseFormatError, match="tokens"):
+            read_matrix_market(tmp_path / "x.mtx")
+
+    def test_precision_on_read(self, tmp_path, rng):
+        m = generators.random_csr(5, 5, 2, rng=rng)
+        write_matrix_market(tmp_path / "m.mtx", m)
+        single = read_matrix_market(tmp_path / "m.mtx", precision="single")
+        assert single.dtype == np.float32

@@ -1,0 +1,78 @@
+"""The reference SpGEMM against scipy on a spread of matrix classes."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeMismatchError
+from repro.sparse import generators
+from repro.sparse.csr import CSRMatrix
+from repro.sparse.reference import spgemm_dense_oracle, spgemm_reference
+
+from tests.conftest import assert_matches_scipy, to_scipy
+
+
+GENS = {
+    "random": lambda rng: generators.random_csr(80, 80, 6, rng=rng),
+    "banded": lambda rng: generators.banded(120, 10, rng=rng),
+    "stencil": lambda rng: generators.stencil_regular(150, 4, rng=rng),
+    "power_law": lambda rng: generators.power_law(150, 3.0, 40, rng=rng),
+    "block": lambda rng: generators.block_dense(48, 12, rng=rng),
+    "diag_plus": lambda rng: generators.diagonal_plus_random(100, 3.0, rng=rng),
+    "poisson": lambda rng: generators.poisson2d(12),
+}
+
+
+@pytest.mark.parametrize("gen", sorted(GENS))
+def test_square_matches_scipy(gen, rng):
+    A = GENS[gen](rng)
+    assert_matches_scipy(spgemm_reference(A, A), to_scipy(A) @ to_scipy(A))
+
+
+def test_rectangular_chain(rng):
+    A = generators.random_csr(30, 50, 5, rng=rng)
+    B = generators.random_csr(50, 20, 4, rng=rng)
+    assert_matches_scipy(spgemm_reference(A, B), to_scipy(A) @ to_scipy(B))
+
+
+def test_identity_is_neutral(rng):
+    A = generators.random_csr(40, 40, 5, rng=rng)
+    eye = CSRMatrix.identity(40)
+    assert spgemm_reference(A, eye).allclose(A)
+    assert spgemm_reference(eye, A).allclose(A)
+
+
+def test_empty_operand(rng):
+    A = generators.random_csr(20, 20, 4, rng=rng)
+    Z = CSRMatrix.empty((20, 20))
+    assert spgemm_reference(A, Z).nnz == 0
+    assert spgemm_reference(Z, A).nnz == 0
+
+
+def test_shape_mismatch(rng):
+    A = generators.random_csr(10, 11, 3, rng=rng)
+    with pytest.raises(ShapeMismatchError):
+        spgemm_reference(A, A)
+
+
+def test_single_precision_output_dtype(rng):
+    A = generators.random_csr(30, 30, 4, rng=rng, precision="single")
+    C = spgemm_reference(A, A)
+    assert C.dtype == np.float32
+
+
+def test_associativity(rng):
+    A = generators.random_csr(25, 25, 4, rng=rng)
+    left = spgemm_reference(spgemm_reference(A, A), A)
+    right = spgemm_reference(A, spgemm_reference(A, A))
+    assert left.allclose(right, rtol=1e-10)
+
+
+def test_dense_oracle_agrees(tiny):
+    ours = spgemm_reference(tiny, tiny)
+    dense = spgemm_dense_oracle(tiny, tiny)
+    np.testing.assert_allclose(ours.to_dense(), dense.to_dense())
+
+
+def test_output_canonical(rng):
+    A = generators.power_law(100, 4.0, 30, rng=rng)
+    assert spgemm_reference(A, A).is_canonical()
