@@ -1,18 +1,26 @@
 """E4 -- Table III: SpGEMM on large graph matrices, with OOM entries.
+E14 -- resilience: recovering a Table III analogue under memory pressure.
 
-Two components, as in the paper:
+Three components:
 
 * performance of all four algorithms on the cage15 / wb-edu / cit-Patents
   analogues, both precisions (the GFLOPS columns);
 * feasibility at *full* paper scale against the 16 GB P100: CUSP and
   BHSPARSE must show "-" (out of memory) for cage15 and wb-edu, exactly as
   in Table III, which is evaluated with the analytic full-scale memory
-  model.
+  model;
+* E14: at a device budget of 0.7x the proposal's own peak -- where the
+  plain run is an OOM "-" entry -- the resilience ladder completes the
+  multiplication by row-panel chunking, bit-identical to the unconstrained
+  result.
 """
 
+import repro
 from repro.bench.datasets import LARGE_GRAPHS, get_dataset
 from repro.bench.memory_model import fits_device, full_scale_peak
 from repro.bench.runner import run_suite
+from repro.errors import DeviceMemoryError
+from repro.gpu.device import P100
 
 from benchmarks.conftest import run_once
 
@@ -84,3 +92,41 @@ def test_table3_full_scale_peaks(benchmark, show):
     table = run_once(benchmark, peaks)
     show("Full-scale peak memory [GiB, single; * = exceeds 16 GB]",
          f"{'Matrix':<14}" + "".join(f"{a:>10}" for a in ALGS) + "\n" + table)
+
+
+def test_e14_resilience_recovery(benchmark, show):
+    """E14: finish cit-Patents under a budget where the plain proposal OOMs."""
+    ds = get_dataset("cit-Patents")
+    A = ds.matrix()
+
+    def run():
+        plain = repro.spgemm(A, A, algorithm="proposal", precision="single",
+                             matrix_name=ds.name)
+        budget = int(0.7 * plain.report.peak_bytes)
+        try:
+            repro.spgemm(A, A, algorithm="proposal", precision="single",
+                         device=P100.with_memory(budget), matrix_name=ds.name)
+            oomed = False
+        except DeviceMemoryError:
+            oomed = True
+        res = repro.spgemm(A, A, algorithm="resilient", precision="single",
+                           memory_budget=budget, matrix_name=ds.name)
+        return plain, budget, oomed, res
+
+    plain, budget, oomed, res = run_once(benchmark, run)
+    rep = res.resilience
+
+    assert oomed, "plain proposal should not fit 0.7x its own peak"
+    assert rep.recovered and rep.final_strategy == "panels"
+    assert max(rep.panel_peaks) <= budget
+    assert res.matrix.allclose(plain.matrix)
+
+    mib = 1 << 20
+    show(
+        "E14 -- resilience (cit-Patents @ 0.7x plain peak)",
+        f"plain peak      {plain.report.peak_bytes / mib:8.1f} MiB "
+        f"@ {plain.report.gflops:.3f} GFLOPS\n"
+        f"budget          {budget / mib:8.1f} MiB (plain: OOM)\n"
+        f"recovered peak  {max(rep.panel_peaks) / mib:8.1f} MiB "
+        f"@ {res.report.gflops:.3f} GFLOPS "
+        f"({rep.panels_used} panels)\n" + rep.summary())

@@ -19,10 +19,16 @@ Quick start::
 from repro import sparse
 from repro.base import SpGEMMAlgorithm, SpGEMMResult
 from repro.core.params import build_group_table
+from repro.core.resilient import (
+    ResilienceReport,
+    ResilientSpGEMM,
+    resilient_spgemm,
+)
 from repro.core.spgemm import HashSpGEMM, hash_spgemm
 from repro.errors import (
     AlgorithmError,
     DeviceConfigError,
+    DeviceFreeError,
     DeviceMemoryError,
     HashTableError,
     ReproError,
@@ -31,6 +37,7 @@ from repro.errors import (
     SparseFormatError,
 )
 from repro.gpu.device import K40, P100, VEGA56, DeviceSpec
+from repro.gpu.faults import FaultEvent, FaultPlan
 from repro.gpu.timeline import SimReport
 from repro.sparse import generators
 from repro.sparse.coo import COOMatrix
@@ -44,10 +51,14 @@ __all__ = [
     "COOMatrix",
     "CSRMatrix",
     "DeviceSpec",
+    "FaultEvent",
+    "FaultPlan",
     "HashSpGEMM",
     "K40",
     "P100",
     "Precision",
+    "ResilienceReport",
+    "ResilientSpGEMM",
     "SimReport",
     "SpGEMMAlgorithm",
     "SpGEMMResult",
@@ -56,12 +67,14 @@ __all__ = [
     "build_group_table",
     "generators",
     "hash_spgemm",
+    "resilient_spgemm",
     "spgemm",
     "spgemm_reference",
     "sparse",
     # errors
     "AlgorithmError",
     "DeviceConfigError",
+    "DeviceFreeError",
     "DeviceMemoryError",
     "HashTableError",
     "ReproError",
@@ -80,15 +93,18 @@ def algorithms() -> dict[str, type[SpGEMMAlgorithm]]:
 
 def spgemm(A: CSRMatrix, B: CSRMatrix, *, algorithm: str = "proposal",
            precision: Precision | str = Precision.DOUBLE, device: DeviceSpec = P100,
-           matrix_name: str = "", **options) -> SpGEMMResult:
+           matrix_name: str = "", faults: FaultPlan | None = None,
+           **options) -> SpGEMMResult:
     """Multiply two CSR matrices with a named algorithm.
 
     ``algorithm`` is one of :func:`algorithms` ('proposal', 'cusparse',
-    'cusp', 'bhsparse'); extra keyword options go to the algorithm's
-    constructor (e.g. ``use_streams=False`` for the proposal).
+    'cusp', 'bhsparse', 'resilient'); extra keyword options go to the
+    algorithm's constructor (e.g. ``use_streams=False`` for the proposal,
+    ``memory_budget=...`` for 'resilient').  ``faults`` injects a
+    deterministic :class:`FaultPlan` into the run (testing/robustness).
     """
     from repro.baselines.registry import create
 
     algo = create(algorithm, **options)
     return algo.multiply(A, B, precision=precision, device=device,
-                         matrix_name=matrix_name)
+                         matrix_name=matrix_name, faults=faults)

@@ -11,10 +11,12 @@ device memory goes through the tracked allocator.
 from __future__ import annotations
 
 import abc
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
-from repro.errors import ShapeMismatchError
+from repro.errors import ReproError, ShapeMismatchError
 from repro.gpu.device import P100, DeviceSpec
+from repro.gpu.faults import FaultPlan
 from repro.gpu.kernel import KernelLaunch
 from repro.gpu.memory import Allocation, DeviceMemory
 from repro.gpu.scheduler import simulate_phase
@@ -22,28 +24,54 @@ from repro.gpu.timeline import PHASES, KernelRecord, SimReport
 from repro.sparse.csr import CSRMatrix
 from repro.types import Precision
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.core.resilient import ResilienceReport
+
 
 @dataclass
 class SpGEMMResult:
-    """Output of one simulated SpGEMM run."""
+    """Output of one simulated SpGEMM run.
+
+    ``resilience`` is attached by
+    :class:`~repro.core.resilient.ResilientSpGEMM` and is ``None`` for a
+    plain single-attempt run.
+    """
 
     matrix: CSRMatrix
     report: SimReport
+    resilience: "ResilienceReport | None" = field(default=None)
 
 
 class RunContext:
-    """Clock + memory + timeline for one algorithm run."""
+    """Clock + memory + timeline for one algorithm run.
+
+    The context is a context manager: leaving the ``with`` block -- by any
+    path, including a raised :class:`~repro.errors.ReproError` -- releases
+    every live device allocation, so no algorithm can leak simulated
+    memory.  On the exception path a coherent partial
+    :class:`~repro.gpu.timeline.SimReport` (``complete=False``) and the
+    context itself are attached to the error as ``.report`` and
+    ``.run_context`` for diagnostics and recovery logic.
+    """
 
     def __init__(self, algorithm: str, matrix_name: str, device: DeviceSpec,
-                 precision: Precision, *, charge_time: bool = True) -> None:
+                 precision: Precision, *, charge_time: bool = True,
+                 faults: FaultPlan | None = None) -> None:
         self.algorithm = algorithm
         self.matrix_name = matrix_name
         self.device = device
         self.precision = precision
-        self.memory = DeviceMemory(device, charge_time=charge_time)
+        self.faults = faults
+        self.memory = DeviceMemory(device, charge_time=charge_time,
+                                   faults=faults)
         self.clock = 0.0
         self.phase_seconds: dict[str, float] = {p: 0.0 for p in PHASES}
         self.kernels: list[KernelRecord] = []
+        # running result statistics, so an aborted run still reports what
+        # it knew (note_stats is called as soon as the counts exist)
+        self.n_products = 0
+        self.nnz_out = 0
+        self.leaked_on_abort: list[Allocation] = []
 
     # -- memory ------------------------------------------------------------
 
@@ -89,7 +117,8 @@ class RunContext:
         if not kernels:
             return 0.0
         sched = simulate_phase(kernels, self.device, self.precision,
-                               start_time=self.clock, use_streams=use_streams)
+                               start_time=self.clock, use_streams=use_streams,
+                               faults=self.faults)
         dt = sched.end - self.clock
         self.clock = sched.end
         self.phase_seconds[phase] = self.phase_seconds.get(phase, 0.0) + dt
@@ -105,21 +134,55 @@ class RunContext:
 
     # -- report ------------------------------------------------------------
 
-    def report(self, *, n_products: int, nnz_out: int) -> SimReport:
+    def note_stats(self, *, n_products: int, nnz_out: int) -> None:
+        """Record result statistics as soon as they are known, so partial
+        reports on the abort path carry them."""
+        self.n_products = int(n_products)
+        self.nnz_out = int(nnz_out)
+
+    def report(self, *, n_products: int | None = None,
+               nnz_out: int | None = None, complete: bool = True) -> SimReport:
         """Finalize the run into a :class:`SimReport`."""
+        if n_products is not None:
+            self.n_products = int(n_products)
+        if nnz_out is not None:
+            self.nnz_out = int(nnz_out)
         return SimReport(
             algorithm=self.algorithm,
             matrix=self.matrix_name,
             precision=self.precision.value,
             device=self.device.name,
-            n_products=int(n_products),
-            nnz_out=int(nnz_out),
+            n_products=self.n_products,
+            nnz_out=self.nnz_out,
             total_seconds=self.clock,
             phase_seconds=dict(self.phase_seconds),
             peak_bytes=self.memory.peak,
             malloc_count=self.memory.n_allocs,
             kernels=self.kernels,
+            complete=complete,
         )
+
+    # -- context manager: exception-safe teardown ---------------------------
+
+    def __enter__(self) -> "RunContext":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        """Release all device memory on every exit path.
+
+        On an exception, the allocations a non-exception-safe run would
+        have leaked are kept in :attr:`leaked_on_abort`, and -- when the
+        exception is a :class:`ReproError` -- a partial report plus this
+        context are attached to it.
+        """
+        if exc is not None:
+            self.leaked_on_abort = self.memory.release_all()
+            if isinstance(exc, ReproError):
+                exc.report = self.report(complete=False)
+                exc.run_context = self
+        else:
+            self.memory.release_all()
+        return False
 
 
 class SpGEMMAlgorithm(abc.ABC):
@@ -132,12 +195,15 @@ class SpGEMMAlgorithm(abc.ABC):
     def multiply(self, A: CSRMatrix, B: CSRMatrix, *,
                  precision: Precision | str = Precision.DOUBLE,
                  device: DeviceSpec = P100,
-                 matrix_name: str = "") -> SpGEMMResult:
+                 matrix_name: str = "",
+                 faults: FaultPlan | None = None) -> SpGEMMResult:
         """Compute ``C = A @ B`` functionally and return it with the
         simulated performance report.
 
         Raises :class:`~repro.errors.DeviceMemoryError` when the
-        algorithm's working set exceeds the device (Table III's "-").
+        algorithm's working set exceeds the device (Table III's "-"), or
+        when the optional ``faults`` plan injects a failure.  Either way
+        the run context guarantees no device allocation stays live.
         """
 
     # -- shared helpers ------------------------------------------------------
@@ -157,6 +223,8 @@ class SpGEMMAlgorithm(abc.ABC):
         return A, B, p
 
     def context(self, matrix_name: str, device: DeviceSpec,
-                precision: Precision) -> RunContext:
+                precision: Precision,
+                faults: FaultPlan | None = None) -> RunContext:
         """Fresh accounting context for one run."""
-        return RunContext(self.name, matrix_name or "matrix", device, precision)
+        return RunContext(self.name, matrix_name or "matrix", device,
+                          precision, faults=faults)

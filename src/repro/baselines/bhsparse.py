@@ -24,6 +24,7 @@ from repro.core.count_products import (chunk_maxes, chunk_sums,
                                        count_products_kernel,
                                        pass_over_rows_kernel)
 from repro.gpu.device import P100, DeviceSpec
+from repro.gpu.faults import FaultPlan
 from repro.gpu.kernel import BlockWorks, KernelLaunch
 from repro.sparse.csr import CSRMatrix
 from repro.sparse.product import product_for
@@ -202,9 +203,14 @@ class BHSparseSpGEMM(SpGEMMAlgorithm):
     def multiply(self, A: CSRMatrix, B: CSRMatrix, *,
                  precision: Precision | str = Precision.DOUBLE,
                  device: DeviceSpec = P100,
-                 matrix_name: str = "") -> SpGEMMResult:
+                 matrix_name: str = "",
+                 faults: FaultPlan | None = None) -> SpGEMMResult:
         A, B, p = self._prepare(A, B, precision)
-        ctx = self.context(matrix_name, device, p)
+        with self.context(matrix_name, device, p, faults) as ctx:
+            return self._multiply(ctx, A, B, p, device)
+
+    def _multiply(self, ctx, A: CSRMatrix, B: CSRMatrix, p: Precision,
+                  device: DeviceSpec) -> SpGEMMResult:
         entry = 4 + p.value_bytes
 
         ctx.alloc_resident("A", A.device_bytes(p))
@@ -213,6 +219,7 @@ class BHSparseSpGEMM(SpGEMMAlgorithm):
 
         row_products, C = product_for(A, B, p)
         nprod = int(row_products.sum())
+        ctx.note_stats(n_products=nprod, nnz_out=C.nnz)
         nnz_a_all = A.row_nnz().astype(np.float64)
         nnz_out_all = C.row_nnz().astype(np.float64)
         n_rows = A.n_rows

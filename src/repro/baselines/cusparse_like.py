@@ -28,6 +28,7 @@ from repro.core import work as W
 from repro.core.count_products import count_products_kernel
 from repro.core.hashtable import expected_cas, expected_probes
 from repro.gpu.device import P100, DeviceSpec
+from repro.gpu.faults import FaultPlan
 from repro.sparse.csr import CSRMatrix
 from repro.sparse.product import product_for
 from repro.types import Precision, next_pow2
@@ -140,16 +141,21 @@ class CuSparseSpGEMM(SpGEMMAlgorithm):
     def multiply(self, A: CSRMatrix, B: CSRMatrix, *,
                  precision: Precision | str = Precision.DOUBLE,
                  device: DeviceSpec = P100,
-                 matrix_name: str = "") -> SpGEMMResult:
+                 matrix_name: str = "",
+                 faults: FaultPlan | None = None) -> SpGEMMResult:
         A, B, p = self._prepare(A, B, precision)
-        ctx = self.context(matrix_name, device, p)
+        with self.context(matrix_name, device, p, faults) as ctx:
+            return self._multiply(ctx, A, B, p, device)
 
+    def _multiply(self, ctx, A: CSRMatrix, B: CSRMatrix, p: Precision,
+                  device: DeviceSpec) -> SpGEMMResult:
         ctx.alloc_resident("A", A.device_bytes(p))
         if B is not A:
             ctx.alloc_resident("B", B.device_bytes(p))
 
         row_products, C = product_for(A, B, p)
         nprod = int(row_products.sum())
+        ctx.note_stats(n_products=nprod, nnz_out=C.nnz)
         nnz_a = A.row_nnz().astype(np.float64)
         nnz_out = C.row_nnz().astype(np.float64)
         n_rows = A.n_rows

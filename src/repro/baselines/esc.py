@@ -25,6 +25,7 @@ from repro.base import SpGEMMAlgorithm, SpGEMMResult
 from repro.baselines.common import uniform_grid
 from repro.core.count_products import count_products_kernel
 from repro.gpu.device import P100, DeviceSpec
+from repro.gpu.faults import FaultPlan
 from repro.sparse.csr import CSRMatrix
 from repro.sparse.product import product_for
 from repro.types import Precision
@@ -55,9 +56,14 @@ class ESCSpGEMM(SpGEMMAlgorithm):
     def multiply(self, A: CSRMatrix, B: CSRMatrix, *,
                  precision: Precision | str = Precision.DOUBLE,
                  device: DeviceSpec = P100,
-                 matrix_name: str = "") -> SpGEMMResult:
+                 matrix_name: str = "",
+                 faults: FaultPlan | None = None) -> SpGEMMResult:
         A, B, p = self._prepare(A, B, precision)
-        ctx = self.context(matrix_name, device, p)
+        with self.context(matrix_name, device, p, faults) as ctx:
+            return self._multiply(ctx, A, B, p)
+
+    def _multiply(self, ctx, A: CSRMatrix, B: CSRMatrix,
+                  p: Precision) -> SpGEMMResult:
         vb = p.value_bytes
         triple_bytes = 8 + vb                 # row (4) + col (4) + value
 
@@ -68,6 +74,7 @@ class ESCSpGEMM(SpGEMMAlgorithm):
         row_products, C = product_for(A, B, p)
         nprod = int(row_products.sum())
         nnz_a = A.nnz
+        ctx.note_stats(n_products=nprod, nnz_out=C.nnz)
 
         # ---- count products (sizes the expansion) ----
         ctx.run("count", [count_products_kernel(A, phase="count")])

@@ -6,15 +6,19 @@ from repro.base import SpGEMMAlgorithm
 from repro.baselines.bhsparse import BHSparseSpGEMM
 from repro.baselines.cusparse_like import CuSparseSpGEMM
 from repro.baselines.esc import ESCSpGEMM
+from repro.core.resilient import ResilientSpGEMM
 from repro.core.spgemm import HashSpGEMM
 from repro.errors import AlgorithmError
 
 #: All available algorithms, keyed by their benchmark-table names.
+#: 'resilient' is the degradation-ladder wrapper, not a paper algorithm;
+#: benchmark sweeps over "the four algorithms" should use DISPLAY_ORDER.
 ALGORITHMS: dict[str, type[SpGEMMAlgorithm]] = {
     "proposal": HashSpGEMM,
     "cusparse": CuSparseSpGEMM,
     "cusp": ESCSpGEMM,
     "bhsparse": BHSparseSpGEMM,
+    "resilient": ResilientSpGEMM,
 }
 
 #: Display order used by the benchmark tables (matches the paper's figures).

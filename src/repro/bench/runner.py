@@ -7,12 +7,17 @@ products) / execution time, where time is the simulated device time.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro.baselines.registry import DISPLAY_ORDER, create
 from repro.bench.datasets import Dataset, get_dataset
-from repro.errors import DeviceMemoryError
+from repro.errors import DeviceMemoryError, HashTableError
 from repro.gpu.device import P100, DeviceSpec
 from repro.gpu.timeline import PHASES, SimReport
+
+if TYPE_CHECKING:  # pragma: no cover - avoid the registry import cycle
+    from repro.core.resilient import ResilienceReport
+    from repro.gpu.faults import FaultPlan
 
 
 @dataclass
@@ -20,7 +25,9 @@ class BenchRun:
     """One (dataset, algorithm, precision) result.
 
     ``report`` is None when the run aborted with a simulated out-of-memory
-    error (rendered as "-", as in the paper's Table III).
+    error (rendered as "-", as in the paper's Table III).  ``resilience``
+    is set for 'resilient' runs; a run that only succeeded by degrading is
+    marked with ``*`` in the tables.
     """
 
     dataset: str
@@ -28,24 +35,32 @@ class BenchRun:
     precision: str
     report: SimReport | None
     oom: bool = False
+    resilience: "ResilienceReport | None" = None
 
     @property
     def gflops(self) -> float:
         """Simulated GFLOPS (0 when OOM)."""
         return self.report.gflops if self.report else 0.0
 
+    @property
+    def recovered(self) -> bool:
+        """True when the run only succeeded through the resilience ladder."""
+        return bool(self.resilience and self.resilience.recovered)
+
 
 def run_one(dataset: Dataset, algorithm: str, precision: str,
-            device: DeviceSpec = P100, **options) -> BenchRun:
+            device: DeviceSpec = P100, faults: "FaultPlan | None" = None,
+            **options) -> BenchRun:
     """Run one algorithm on one dataset, catching simulated OOM."""
     A = dataset.matrix()
     algo = create(algorithm, **options)
     try:
         result = algo.multiply(A, A, precision=precision, device=device,
-                               matrix_name=dataset.name)
-    except DeviceMemoryError:
+                               matrix_name=dataset.name, faults=faults)
+    except (DeviceMemoryError, HashTableError):
         return BenchRun(dataset.name, algorithm, precision, None, oom=True)
-    return BenchRun(dataset.name, algorithm, precision, result.report)
+    return BenchRun(dataset.name, algorithm, precision, result.report,
+                    resilience=result.resilience)
 
 
 def run_suite(dataset_names: list[str], algorithms: tuple[str, ...] = DISPLAY_ORDER,
@@ -67,7 +82,11 @@ def run_suite(dataset_names: list[str], algorithms: tuple[str, ...] = DISPLAY_OR
 
 def gflops_table(runs: list[BenchRun],
                  algorithms: tuple[str, ...] = DISPLAY_ORDER) -> str:
-    """Figure 2/3 as a table: rows = matrices, columns = algorithms."""
+    """Figure 2/3 as a table: rows = matrices, columns = algorithms.
+
+    Runs that only succeeded through the resilience ladder are marked
+    with ``*`` (degraded execution, not a comparable plain run).
+    """
     datasets = list(dict.fromkeys(r.dataset for r in runs))
     by_key = {(r.dataset, r.algorithm): r for r in runs}
     head = f"{'Matrix':<18}" + "".join(f"{a:>12}" for a in algorithms)
@@ -82,7 +101,8 @@ def gflops_table(runs: list[BenchRun],
             if r is None or r.oom:
                 cells.append(f"{'-':>12}")
                 continue
-            cells.append(f"{r.gflops:>12.3f}")
+            cell = f"{r.gflops:.3f}" + ("*" if r.recovered else "")
+            cells.append(f"{cell:>12}")
             if a == "proposal":
                 ours = r.gflops
             else:

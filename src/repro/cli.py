@@ -59,6 +59,21 @@ def _build_parser() -> argparse.ArgumentParser:
                    default="double")
     p.add_argument("--timeline", action="store_true",
                    help="print the kernel Gantt chart")
+    p.add_argument("--resilient", action="store_true",
+                   help="wrap the algorithm in the degradation ladder "
+                        "(retry, row-panel chunking, algorithm fallback)")
+    p.add_argument("--memory-budget", type=float, metavar="MIB",
+                   help="device-memory budget in MiB (implies --resilient)")
+    p.add_argument("--max-panels", type=int, default=256, metavar="K",
+                   help="row-panel chunking limit for --resilient "
+                        "(default: 256)")
+    p.add_argument("--inject-oom-at", type=int, metavar="N",
+                   help="inject a DeviceMemoryError at the N-th allocation")
+    p.add_argument("--inject-oom-name", metavar="REGEX",
+                   help="inject a DeviceMemoryError at the first allocation "
+                        "whose buffer name matches REGEX")
+    p.add_argument("--shrink-capacity", type=float, metavar="FACTOR",
+                   help="scale the device capacity by FACTOR in (0, 1]")
     _add_device_arg(p)
 
     p = sub.add_parser("suite", help="run the Figure 2/3 suite")
@@ -123,15 +138,51 @@ def cmd_info(args) -> int:
     return 0
 
 
+def _fault_plan(args):
+    """Build the FaultPlan requested by the --inject-*/--shrink flags."""
+    if args.inject_oom_at is None and not args.inject_oom_name \
+            and not args.shrink_capacity:
+        return None
+    from repro.gpu.faults import FaultPlan
+
+    plan = FaultPlan()
+    if args.inject_oom_at is not None:
+        plan.fail_alloc(index=args.inject_oom_at)
+    if args.inject_oom_name:
+        plan.fail_alloc(name=args.inject_oom_name)
+    if args.shrink_capacity:
+        plan.limit_capacity(factor=args.shrink_capacity)
+    return plan
+
+
 def cmd_multiply(args) -> int:
     import repro
     from repro.gpu.trace import render_timeline
 
     A, name = _load_matrix(args)
     print(f"{name}: {A.n_rows:,} x {A.n_cols:,}, {A.nnz:,} nonzeros")
-    result = repro.spgemm(A, A, algorithm=args.algorithm,
-                          precision=args.precision,
-                          device=_device(args.device), matrix_name=name)
+
+    algorithm, options = args.algorithm, {}
+    if args.resilient or args.memory_budget is not None:
+        if algorithm != "resilient":
+            # keep the chosen algorithm first in the fallback chain
+            options["algorithms"] = ((algorithm, "cusparse")
+                                     if algorithm != "cusparse"
+                                     else ("cusparse", "proposal"))
+        algorithm = "resilient"
+    if algorithm == "resilient":
+        options["max_panels"] = args.max_panels
+        if args.memory_budget is not None:
+            options["memory_budget"] = int(args.memory_budget * (1 << 20))
+
+    try:
+        result = repro.spgemm(A, A, algorithm=algorithm,
+                              precision=args.precision,
+                              device=_device(args.device), matrix_name=name,
+                              faults=_fault_plan(args), **options)
+    except repro.ReproError as e:
+        print(f"run failed: {e}", file=sys.stderr)
+        return 1
     r = result.report
     print(f"C: {result.matrix.nnz:,} nonzeros "
           f"({r.n_products:,} intermediate products)\n")
@@ -140,6 +191,8 @@ def cmd_multiply(args) -> int:
     for phase in ("setup", "count", "calc", "malloc"):
         print(f"  {phase:<8} {r.phase_seconds.get(phase, 0) * 1e6:10.1f} us"
               f"  ({100 * r.phase_fraction(phase):5.1f}%)")
+    if result.resilience is not None:
+        print("\n" + result.resilience.summary())
     if args.timeline:
         print("\nkernel timeline:")
         print(render_timeline(r.kernels))

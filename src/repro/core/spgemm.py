@@ -29,6 +29,7 @@ from repro.core.numeric import plan_numeric
 from repro.core.params import PWARP_WIDTH, build_group_table
 from repro.core.symbolic import plan_symbolic
 from repro.gpu.device import P100, DeviceSpec
+from repro.gpu.faults import FaultPlan
 from repro.sparse.csr import CSRMatrix
 from repro.sparse.product import product_for
 from repro.types import INDEX_DTYPE, Precision
@@ -65,9 +66,14 @@ class HashSpGEMM(SpGEMMAlgorithm):
     def multiply(self, A: CSRMatrix, B: CSRMatrix, *,
                  precision: Precision | str = Precision.DOUBLE,
                  device: DeviceSpec = P100,
-                 matrix_name: str = "") -> SpGEMMResult:
+                 matrix_name: str = "",
+                 faults: FaultPlan | None = None) -> SpGEMMResult:
         A, B, p = self._prepare(A, B, precision)
-        ctx = self.context(matrix_name, device, p)
+        with self.context(matrix_name, device, p, faults) as ctx:
+            return self._multiply(ctx, A, B, p, device)
+
+    def _multiply(self, ctx, A: CSRMatrix, B: CSRMatrix, p: Precision,
+                  device: DeviceSpec) -> SpGEMMResult:
         n_rows = A.n_rows
 
         # input matrices are resident before the measured region
@@ -78,6 +84,7 @@ class HashSpGEMM(SpGEMMAlgorithm):
         row_products, C = product_for(A, B, p)
         row_nnz = C.row_nnz().astype(np.int64)
         n_products = int(row_products.sum())
+        ctx.note_stats(n_products=n_products, nnz_out=C.nnz)
 
         table = build_group_table(device, pwarp_width=self.pwarp_width,
                                   uniform_tb=self.uniform_tb)
@@ -142,8 +149,10 @@ class HashSpGEMM(SpGEMMAlgorithm):
 def hash_spgemm(A: CSRMatrix, B: CSRMatrix, *,
                 precision: Precision | str = Precision.DOUBLE,
                 device: DeviceSpec = P100, matrix_name: str = "",
+                faults: FaultPlan | None = None,
                 **options) -> SpGEMMResult:
     """Convenience wrapper: ``HashSpGEMM(**options).multiply(A, B, ...)``."""
     return HashSpGEMM(**options).multiply(A, B, precision=precision,
                                           device=device,
-                                          matrix_name=matrix_name)
+                                          matrix_name=matrix_name,
+                                          faults=faults)

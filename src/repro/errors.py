@@ -30,16 +30,33 @@ class ShapeMismatchError(ReproError):
 class DeviceMemoryError(ReproError):
     """A simulated device allocation exceeded the device memory capacity.
 
-    Mirrors ``cudaErrorMemoryAllocation``.  Carries the attempted size and
-    the allocator state at failure time for diagnostics.
+    Mirrors ``cudaErrorMemoryAllocation``.  Carries the attempted size,
+    the allocator state at failure time, the largest live allocations
+    (``live``, rendered into the message so OOM reports name the buffers
+    actually holding the memory), and whether the failure was injected by
+    a :class:`repro.gpu.faults.FaultPlan` rather than a genuine capacity
+    overrun.
     """
 
     def __init__(self, message: str, *, requested: int = 0, in_use: int = 0,
-                 capacity: int = 0) -> None:
+                 capacity: int = 0, live: tuple = (),
+                 injected: bool = False) -> None:
+        self.live = tuple((str(n), int(b)) for n, b in live)
+        if self.live:
+            message += ("; live: "
+                        + ", ".join(f"{n}={b:,} B" for n, b in self.live))
+        if injected:
+            message += " [injected fault]"
         super().__init__(message)
         self.requested = int(requested)
         self.in_use = int(in_use)
         self.capacity = int(capacity)
+        self.injected = bool(injected)
+
+
+class DeviceFreeError(DeviceMemoryError):
+    """An invalid ``cudaFree``: double free or an allocation unknown to the
+    allocator.  Carries the allocator state like its OOM sibling."""
 
 
 class DeviceConfigError(ReproError):

@@ -11,6 +11,8 @@ device is modeled here instead (see DESIGN.md section 2):
 * :mod:`repro.gpu.cost` -- the documented cycle model converting work to time.
 * :mod:`repro.gpu.memory` -- device memory allocator with peak tracking, OOM
   and a ``cudaMalloc`` cost model.
+* :mod:`repro.gpu.faults` -- deterministic fault injection (forced OOM,
+  capacity shrink, hash-table-full events) for resilience testing.
 * :mod:`repro.gpu.scheduler` -- discrete-event simulation of block dispatch
   onto SMs with CUDA-stream semantics.
 * :mod:`repro.gpu.timeline` -- phase/kernel timing records and
@@ -21,6 +23,7 @@ block performs and the simulator turns that into time and memory numbers.
 """
 
 from repro.gpu.device import P100, DeviceSpec
+from repro.gpu.faults import FaultEvent, FaultPlan
 from repro.gpu.kernel import BlockWorks, KernelLaunch, WorkEstimate
 from repro.gpu.memory import DeviceMemory
 from repro.gpu.occupancy import Occupancy, occupancy_for
@@ -32,6 +35,8 @@ __all__ = [
     "BlockWorks",
     "DeviceMemory",
     "DeviceSpec",
+    "FaultEvent",
+    "FaultPlan",
     "KernelLaunch",
     "KernelRecord",
     "Occupancy",

@@ -1,0 +1,184 @@
+"""Deterministic fault injection for the simulated device.
+
+The Table III experiments exercise out-of-memory only implicitly: a run
+either fits the 16 GB device or it does not.  To test the *failure paths*
+of every algorithm -- and the recovery ladder of
+:class:`repro.core.resilient.ResilientSpGEMM` -- a :class:`FaultPlan` can
+force failures at precise points of a run:
+
+* ``fail_alloc(index=N)`` makes the N-th ``cudaMalloc`` seen by the plan
+  raise :class:`~repro.errors.DeviceMemoryError` (one-shot: the counter is
+  monotone across every context sharing the plan, so a retry proceeds past
+  the fault -- the model of a transient allocation failure);
+* ``fail_alloc(name=pattern)`` fails allocations by buffer name
+  (``nth`` selects which match, ``times`` how often it fires;
+  ``times=None`` makes the fault persistent);
+* ``limit_capacity(nbytes)`` / ``limit_capacity(factor=f)`` shrinks the
+  effective device capacity, the model of a device shared with other
+  tenants;
+* ``fail_hash_table(pattern)`` injects a hash-table-full event into the
+  scheduler when a matching kernel is launched, raising
+  :class:`~repro.errors.HashTableError`;
+* ``random_alloc_failures(p)`` fails each allocation with probability
+  ``p`` from the plan's seeded generator -- deterministic given ``seed``.
+
+Every fault that fires is recorded in :attr:`FaultPlan.fired` so tests
+and the resilience report can audit exactly what was injected.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass
+class FaultEvent:
+    """One injected fault (appended to :attr:`FaultPlan.fired`)."""
+
+    kind: str        #: 'alloc' | 'hash_table'
+    site: str        #: allocation buffer name or kernel name
+    index: int       #: global allocation index (-1 for kernel faults)
+    rule: str        #: human-readable description of the rule that fired
+
+
+@dataclass
+class _NameRule:
+    """Fail allocations/kernels whose name matches ``pattern``."""
+
+    pattern: re.Pattern
+    nth: int                    #: first match ordinal that fires (1-based)
+    remaining: float            #: fires left (``inf`` = persistent)
+    seen: int = 0
+
+    def check(self, name: str) -> bool:
+        if not self.pattern.search(name):
+            return False
+        self.seen += 1
+        if self.seen >= self.nth and self.remaining > 0:
+            self.remaining -= 1
+            return True
+        return False
+
+    def describe(self) -> str:
+        return f"name~{self.pattern.pattern!r} (match #{self.seen})"
+
+
+@dataclass
+class FaultPlan:
+    """A deterministic, seedable schedule of injected device faults.
+
+    One plan may be shared across several runs (the resilience ladder
+    re-uses the caller's plan for every attempt); the allocation counter
+    is global to the plan, so index faults are naturally one-shot.
+    """
+
+    seed: int | None = None
+    fired: list[FaultEvent] = field(default_factory=list)
+    alloc_index: int = 0            #: allocations observed so far
+    capacity_bytes: int | None = None
+    capacity_factor: float | None = None
+    _index_rules: set = field(default_factory=set)
+    _name_rules: list = field(default_factory=list)
+    _kernel_rules: list = field(default_factory=list)
+    _random_prob: float = 0.0
+    _random_remaining: float = 0.0
+
+    def __post_init__(self) -> None:
+        self._rng = np.random.default_rng(self.seed)
+
+    # -- configuration (chainable) -----------------------------------------
+
+    def fail_alloc(self, *, index: int | None = None, name: str | None = None,
+                   nth: int = 1, times: int | None = 1) -> "FaultPlan":
+        """Force an OOM at an allocation site.
+
+        ``index`` counts allocations from 0 across the plan's lifetime;
+        ``name`` is a regex matched against buffer names (``nth`` picks the
+        first firing match, ``times=None`` fires on every match after it).
+        """
+        if index is None and name is None:
+            raise ValueError("fail_alloc needs index= or name=")
+        if index is not None:
+            self._index_rules.add(int(index))
+        if name is not None:
+            self._name_rules.append(_NameRule(
+                re.compile(name), nth,
+                float("inf") if times is None else int(times)))
+        return self
+
+    def limit_capacity(self, nbytes: int | None = None, *,
+                       factor: float | None = None) -> "FaultPlan":
+        """Shrink the effective device capacity (absolute bytes or a
+        factor of the device's own capacity)."""
+        if nbytes is not None:
+            self.capacity_bytes = int(nbytes)
+        if factor is not None:
+            self.capacity_factor = float(factor)
+        return self
+
+    def fail_hash_table(self, pattern: str = ".*", *, nth: int = 1,
+                        times: int | None = 1) -> "FaultPlan":
+        """Inject a hash-table-full event when a matching kernel launches."""
+        self._kernel_rules.append(_NameRule(
+            re.compile(pattern), nth,
+            float("inf") if times is None else int(times)))
+        return self
+
+    def random_alloc_failures(self, probability: float, *,
+                              times: int | None = None) -> "FaultPlan":
+        """Fail each allocation with ``probability`` (from the plan seed)."""
+        self._random_prob = float(probability)
+        self._random_remaining = float("inf") if times is None else int(times)
+        return self
+
+    # -- hooks consulted by the simulator ----------------------------------
+
+    def effective_capacity(self, device_capacity: int) -> int:
+        """Device capacity after the plan's shrink rules."""
+        cap = device_capacity
+        if self.capacity_factor is not None:
+            cap = min(cap, int(device_capacity * self.capacity_factor))
+        if self.capacity_bytes is not None:
+            cap = min(cap, self.capacity_bytes)
+        return cap
+
+    def check_alloc(self, name: str, nbytes: int) -> FaultEvent | None:
+        """Called once per allocation; returns the fault to inject, if any."""
+        idx = self.alloc_index
+        self.alloc_index += 1
+        rule = None
+        if idx in self._index_rules:
+            self._index_rules.discard(idx)
+            rule = f"index=={idx}"
+        if rule is None:
+            for r in self._name_rules:
+                if r.check(name):
+                    rule = r.describe()
+                    break
+        if rule is None and self._random_prob > 0 and self._random_remaining > 0:
+            if self._rng.random() < self._random_prob:
+                self._random_remaining -= 1
+                rule = f"random(p={self._random_prob})"
+        if rule is None:
+            return None
+        event = FaultEvent(kind="alloc", site=name, index=idx, rule=rule)
+        self.fired.append(event)
+        return event
+
+    def check_kernel(self, name: str) -> FaultEvent | None:
+        """Called per kernel launch; returns a hash-table-full fault, if any."""
+        for r in self._kernel_rules:
+            if r.check(name):
+                event = FaultEvent(kind="hash_table", site=name, index=-1,
+                                   rule=r.describe())
+                self.fired.append(event)
+                return event
+        return None
+
+    @property
+    def n_fired(self) -> int:
+        """Number of faults injected so far."""
+        return len(self.fired)

@@ -17,8 +17,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.errors import DeviceMemoryError, ReproError
+from repro.errors import DeviceFreeError, DeviceMemoryError, ReproError
 from repro.gpu.device import DeviceSpec
+from repro.gpu.faults import FaultPlan
 
 
 @dataclass
@@ -51,11 +52,17 @@ class DeviceMemory:
         When False, allocations are accounted for peak/OOM purposes but add
         no simulated time (used for the full-scale analytic memory planner,
         where only sizes matter).
+    faults:
+        Optional :class:`~repro.gpu.faults.FaultPlan` consulted on every
+        allocation: it can shrink the effective capacity or force an OOM
+        at a chosen site.
     """
 
-    def __init__(self, device: DeviceSpec, *, charge_time: bool = True) -> None:
+    def __init__(self, device: DeviceSpec, *, charge_time: bool = True,
+                 faults: FaultPlan | None = None) -> None:
         self.device = device
         self.charge_time = charge_time
+        self.faults = faults
         self.in_use = 0
         self.peak = 0
         self.malloc_seconds = 0.0
@@ -66,17 +73,39 @@ class DeviceMemory:
 
     # ------------------------------------------------------------------
 
+    def capacity(self) -> int:
+        """Effective capacity: the device's, shrunk by any fault plan."""
+        cap = self.device.global_mem_bytes
+        if self.faults is not None:
+            cap = self.faults.effective_capacity(cap)
+        return cap
+
+    def top_live(self, n: int = 5) -> list[tuple[str, int]]:
+        """The ``n`` largest live allocations as ``(name, bytes)`` pairs."""
+        live = sorted(self._live.values(), key=lambda a: a.nbytes, reverse=True)
+        return [(a.name, a.nbytes) for a in live[:n]]
+
     def alloc(self, name: str, nbytes: int) -> Allocation:
-        """Allocate ``nbytes``; raises :class:`DeviceMemoryError` on OOM."""
+        """Allocate ``nbytes``; raises :class:`DeviceMemoryError` on OOM
+        (genuine or injected by the fault plan)."""
         nbytes = int(nbytes)
         if nbytes < 0:
             raise ReproError(f"negative allocation {name!r}: {nbytes}")
-        if self.in_use + nbytes > self.device.global_mem_bytes:
+        capacity = self.capacity()
+        event = self.faults.check_alloc(name, nbytes) if self.faults else None
+        if event is not None:
+            raise DeviceMemoryError(
+                f"cudaMalloc({name!r}, {nbytes:,} B) failed "
+                f"(injected: {event.rule}): {self.in_use:,} B in use of "
+                f"{capacity:,} B",
+                requested=nbytes, in_use=self.in_use, capacity=capacity,
+                live=self.top_live(), injected=True)
+        if self.in_use + nbytes > capacity:
             raise DeviceMemoryError(
                 f"cudaMalloc({name!r}, {nbytes:,} B) exceeds device capacity: "
-                f"{self.in_use:,} B in use of {self.device.global_mem_bytes:,} B",
+                f"{self.in_use:,} B in use of {capacity:,} B",
                 requested=nbytes, in_use=self.in_use,
-                capacity=self.device.global_mem_bytes)
+                capacity=capacity, live=self.top_live())
         a = Allocation(name=name, nbytes=nbytes)
         self._live[id(a)] = a
         self.in_use += nbytes
@@ -89,8 +118,18 @@ class DeviceMemory:
 
     def free(self, allocation: Allocation) -> None:
         """Release an allocation (idempotence is an error: double free raises)."""
-        if allocation.freed or id(allocation) not in self._live:
-            raise ReproError(f"double free of {allocation.name!r}")
+        if allocation.freed:
+            raise DeviceFreeError(
+                f"double free of {allocation.name!r} "
+                f"({self.in_use:,} B in use)",
+                requested=allocation.nbytes, in_use=self.in_use,
+                capacity=self.capacity(), live=self.top_live())
+        if id(allocation) not in self._live:
+            raise DeviceFreeError(
+                f"cudaFree of {allocation.name!r} not owned by this "
+                f"allocator ({self.in_use:,} B in use)",
+                requested=allocation.nbytes, in_use=self.in_use,
+                capacity=self.capacity(), live=self.top_live())
         allocation.freed = True
         del self._live[id(allocation)]
         self.in_use -= allocation.nbytes
@@ -103,6 +142,30 @@ class DeviceMemory:
         """Release everything still live (end-of-run cleanup)."""
         for a in list(self._live.values()):
             self.free(a)
+
+    def release_all(self) -> list[Allocation]:
+        """Teardown: free every live allocation *without* charging simulated
+        time -- the cleanup of an aborted (or finished) run happens outside
+        the measured region, like the resident-input uploads.  Returns the
+        allocations that were still live, so error paths can report what a
+        non-exception-safe implementation would have leaked."""
+        released = list(self._live.values())
+        for a in released:
+            a.freed = True
+            self.in_use -= a.nbytes
+            self.events.append(
+                AllocationEvent("free", a.name, a.nbytes, self.in_use))
+        self._live.clear()
+        return released
+
+    # -- context manager: guarantees no allocation outlives the run --------
+
+    def __enter__(self) -> "DeviceMemory":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.release_all()
+        return False
 
     # ------------------------------------------------------------------
 

@@ -19,9 +19,10 @@ from __future__ import annotations
 import heapq
 from dataclasses import dataclass
 
-from repro.errors import SchedulerError
+from repro.errors import HashTableError, SchedulerError
 from repro.gpu.cost import block_durations
 from repro.gpu.device import DeviceSpec
+from repro.gpu.faults import FaultPlan
 from repro.gpu.kernel import KernelLaunch
 from repro.gpu.occupancy import occupancy_for
 from repro.gpu.timeline import KernelRecord
@@ -76,16 +77,29 @@ class _KernelState:
 
 def simulate_phase(kernels: list[KernelLaunch], device: DeviceSpec,
                    precision: Precision | str, *, start_time: float = 0.0,
-                   use_streams: bool = True) -> PhaseSchedule:
+                   use_streams: bool = True,
+                   faults: FaultPlan | None = None) -> PhaseSchedule:
     """Simulate the concurrent execution of ``kernels`` on ``device``.
 
     Kernels are issued host-side in list order, each issue costing
     ``kernel_launch_us``; a kernel becomes *ready* when its issue has
     happened and its stream predecessor (if any) has finished.  Returns the
     phase schedule with one :class:`KernelRecord` per launch.
+
+    A :class:`~repro.gpu.faults.FaultPlan` may inject a hash-table-full
+    event at launch time -- the model of a global retry table overflowing
+    mid-kernel, surfaced host-side as :class:`HashTableError`.
     """
     if not kernels:
         return PhaseSchedule(start=start_time, end=start_time, records=[])
+
+    if faults is not None:
+        for k in kernels:
+            event = faults.check_kernel(k.name)
+            if event is not None:
+                raise HashTableError(
+                    f"hash table full in kernel {k.name!r} "
+                    f"(injected: {event.rule})")
 
     p = Precision.parse(precision)
     states = [_KernelState(i, k, block_durations(k, device, p), device)

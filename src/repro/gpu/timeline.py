@@ -69,6 +69,9 @@ class SimReport:
     peak_bytes: int
     malloc_count: int
     kernels: list[KernelRecord] = field(default_factory=list)
+    #: False for the partial report of a run aborted by an error (attached
+    #: to the raised ReproError by the run context's exception path).
+    complete: bool = True
 
     @property
     def flops(self) -> int:

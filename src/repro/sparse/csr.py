@@ -169,6 +169,43 @@ class CSRMatrix:
                    np.arange(n, dtype=INDEX_DTYPE),
                    np.ones(n, dtype=p.value_dtype), (n, n), check=False)
 
+    # -- row panels (resilient chunked execution) ---------------------------
+
+    def row_panel(self, lo: int, hi: int) -> "CSRMatrix":
+        """The horizontal slab of rows ``lo:hi`` as its own CSR matrix.
+
+        Column dimension is preserved, so ``panel @ B`` is well defined;
+        ``col``/``val`` are views into this matrix (no copy).
+        """
+        if not 0 <= lo <= hi <= self.n_rows:
+            raise SparseFormatError(
+                f"row panel [{lo}, {hi}) out of range for {self.n_rows} rows")
+        start, end = int(self.rpt[lo]), int(self.rpt[hi])
+        return CSRMatrix(self.rpt[lo:hi + 1] - start, self.col[start:end],
+                         self.val[start:end], (hi - lo, self.n_cols),
+                         check=False)
+
+    @classmethod
+    def vstack(cls, parts: "list[CSRMatrix]") -> "CSRMatrix":
+        """Concatenate row panels back into one matrix (inverse of
+        splitting via :meth:`row_panel` at consecutive boundaries)."""
+        if not parts:
+            raise SparseFormatError("vstack of zero panels")
+        n_cols = parts[0].n_cols
+        if any(p.n_cols != n_cols for p in parts):
+            raise ShapeMismatchError(
+                f"vstack: column counts differ: {[p.n_cols for p in parts]}")
+        rpt = [parts[0].rpt]
+        offset = parts[0].nnz
+        for p in parts[1:]:
+            rpt.append(p.rpt[1:] + offset)
+            offset += p.nnz
+        n_rows = sum(p.n_rows for p in parts)
+        return cls(np.concatenate(rpt),
+                   np.concatenate([p.col for p in parts]),
+                   np.concatenate([p.val for p in parts]),
+                   (n_rows, n_cols), check=False)
+
     # -- canonical form -----------------------------------------------------
 
     def is_canonical(self) -> bool:

@@ -166,8 +166,10 @@ class TestBHSparseStructure:
 
 class TestRegistry:
     def test_all_registered(self):
-        assert set(ALGORITHMS) == {"proposal", "cusp", "cusparse", "bhsparse"}
-        assert set(DISPLAY_ORDER) == set(ALGORITHMS)
+        assert set(ALGORITHMS) == {"proposal", "cusp", "cusparse", "bhsparse",
+                                   "resilient"}
+        # the display order stays the paper's four-way comparison
+        assert set(DISPLAY_ORDER) == set(ALGORITHMS) - {"resilient"}
 
     def test_create_unknown(self):
         with pytest.raises(AlgorithmError, match="unknown algorithm"):
