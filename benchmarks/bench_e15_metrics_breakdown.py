@@ -1,0 +1,47 @@
+"""E15 -- Figure 5 rebuilt purely from the exported observability metrics.
+
+Where E6 (``bench_fig5_breakdown_single.py``) reads ``phase_seconds``
+straight off the reports, this experiment reconstructs the same stacked
+bars from the *exported* signal path: every run's event stream is
+aggregated into its :class:`~repro.obs.metrics.MetricsRegistry`, and all
+numbers below come from ``phase_seconds{phase=...}`` samples plus the
+Chrome-trace slice totals.  The acceptance bound of the observability
+layer is that both reconstructions agree with the report to 1e-9, so the
+breakdown's conclusions survive being read from the telemetry alone.
+"""
+
+from repro.bench.datasets import DATASETS
+from repro.bench.runner import metrics_phase_table, run_suite
+from repro.gpu.timeline import PHASES
+from repro.obs.export import chrome_phase_totals, chrome_trace
+
+from benchmarks.conftest import run_once
+
+
+def test_e15_metrics_breakdown(benchmark, show):
+    runs = run_once(benchmark, lambda: run_suite(
+        list(DATASETS), algorithms=("cusparse", "proposal"),
+        precisions=("single",)))
+    show("E15: Figure 5 phase breakdown from the metrics registry",
+         metrics_phase_table(runs, algorithms=("cusparse", "proposal")))
+
+    for r in runs:
+        m = r.report.metrics()
+        trace_totals = chrome_phase_totals(chrome_trace(r.report))
+        for p in PHASES:
+            want = r.report.phase_seconds.get(p, 0.0)
+            # metric samples and trace slices carry the full signal
+            assert abs(m.value("phase_seconds", phase=p) - want) < 1e-9
+            assert abs(trace_totals.get(p, 0.0) - want) < 1e-9
+
+    # the paper's headline, read from metrics only: the proposal's calc
+    # phase shrinks vs cuSPARSE on the high-throughput matrices
+    by_key = {(r.dataset, r.algorithm): r.report.metrics() for r in runs}
+    for name in DATASETS:
+        if DATASETS[name].category != "high":
+            continue
+        ours = by_key[(name, "proposal")]
+        base = by_key[(name, "cusparse")]
+        assert ours.value("phase_seconds", phase="calc") \
+            < base.value("phase_seconds", phase="calc"), name
+        assert ours.value("total_seconds") < base.value("total_seconds"), name

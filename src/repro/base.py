@@ -21,6 +21,8 @@ from repro.gpu.kernel import KernelLaunch
 from repro.gpu.memory import Allocation, DeviceMemory
 from repro.gpu.scheduler import simulate_phase
 from repro.gpu.timeline import PHASES, KernelRecord, SimReport
+from repro.obs import events as OBS
+from repro.obs.events import Event, EventBus
 from repro.sparse.csr import CSRMatrix
 from repro.types import Precision
 
@@ -62,8 +64,10 @@ class RunContext:
         self.device = device
         self.precision = precision
         self.faults = faults
+        self.events = EventBus()
         self.memory = DeviceMemory(device, charge_time=charge_time,
-                                   faults=faults)
+                                   faults=faults,
+                                   observer=self._on_memory_event)
         self.clock = 0.0
         self.phase_seconds: dict[str, float] = {p: 0.0 for p in PHASES}
         self.kernels: list[KernelRecord] = []
@@ -72,6 +76,37 @@ class RunContext:
         self.n_products = 0
         self.nnz_out = 0
         self.leaked_on_abort: list[Allocation] = []
+        # fault events fired before this context existed belong to an
+        # earlier attempt sharing the plan (the resilience ladder)
+        self._fault_base = len(faults.fired) if faults is not None else 0
+
+    # -- observability -----------------------------------------------------
+
+    def emit(self, kind: str, name: str, **attrs) -> Event:
+        """Publish one event at the current simulated time."""
+        return self.events.emit(kind, name, self.clock, **attrs)
+
+    def _on_memory_event(self, event, peak: int) -> None:
+        """DeviceMemory observer: mirror alloc/free traffic onto the bus.
+
+        Fires *before* any time is charged for the operation, so the
+        timestamp is the start of the (possibly zero-length) charge.
+        """
+        self.events.emit(event.kind, event.name, self.clock,
+                         nbytes=event.nbytes, in_use=event.in_use_after,
+                         peak=peak)
+
+    def _charge(self, phase: str, seconds: float, source: str,
+                detail: str) -> None:
+        """Advance the clock and publish the matching ``charge`` event.
+
+        All simulated time flows through here, so summing the charge
+        events of a phase reproduces ``phase_seconds`` exactly.
+        """
+        self.events.emit(OBS.CHARGE, phase, self.clock, seconds=seconds,
+                         source=source, detail=detail)
+        self.clock += seconds
+        self.phase_seconds[phase] = self.phase_seconds.get(phase, 0.0) + seconds
 
     # -- memory ------------------------------------------------------------
 
@@ -84,9 +119,8 @@ class RunContext:
         """
         before = self.memory.malloc_seconds
         a = self.memory.alloc(name, nbytes)
-        dt = self.memory.malloc_seconds - before
-        self.clock += dt
-        self.phase_seconds[phase] = self.phase_seconds.get(phase, 0.0) + dt
+        self._charge(phase, self.memory.malloc_seconds - before, "malloc",
+                     name)
         return a
 
     def alloc_resident(self, name: str, nbytes: int) -> Allocation:
@@ -104,9 +138,8 @@ class RunContext:
         """``cudaFree``: charged to the 'malloc' phase."""
         before = self.memory.free_seconds
         self.memory.free(allocation)
-        dt = self.memory.free_seconds - before
-        self.clock += dt
-        self.phase_seconds["malloc"] += dt
+        self._charge("malloc", self.memory.free_seconds - before, "free",
+                     allocation.name)
 
     # -- kernels -----------------------------------------------------------
 
@@ -120,17 +153,28 @@ class RunContext:
                                start_time=self.clock, use_streams=use_streams,
                                faults=self.faults)
         dt = sched.end - self.clock
-        self.clock = sched.end
-        self.phase_seconds[phase] = self.phase_seconds.get(phase, 0.0) + dt
+        self._charge(phase, dt, "kernels",
+                     f"{len(sched.records)} kernels")
+        self.clock = sched.end   # exact, avoids start + dt round-off
         self.kernels.extend(sched.records)
+        batch = []
+        for r in sched.records:
+            batch.append(Event(ts=r.start, kind=OBS.KERNEL_LAUNCH,
+                               name=r.name,
+                               attrs={"phase": r.phase, "stream": r.stream,
+                                      "n_blocks": r.n_blocks}))
+            batch.append(Event(ts=r.end, kind=OBS.KERNEL_RETIRE, name=r.name,
+                               attrs={"phase": r.phase, "stream": r.stream,
+                                      "seconds": r.duration,
+                                      "block_seconds": r.block_seconds}))
+        self.events.emit_batch(batch)
         return dt
 
     def host_sync(self, phase: str, seconds: float = 10e-6) -> None:
         """A host-device synchronization (e.g. reading a count back to size
         an allocation).  Every real library in the comparison has at least
         one between its phases; charged to ``phase``."""
-        self.clock += seconds
-        self.phase_seconds[phase] = self.phase_seconds.get(phase, 0.0) + seconds
+        self._charge(phase, seconds, "sync", "host_sync")
 
     # -- report ------------------------------------------------------------
 
@@ -159,6 +203,10 @@ class RunContext:
             peak_bytes=self.memory.peak,
             malloc_count=self.memory.n_allocs,
             kernels=self.kernels,
+            # the live list on purpose: the teardown events of __exit__
+            # (and any injected-fault postmortem) stay visible through a
+            # report returned from inside the with block
+            events=self.events.events,
             complete=complete,
         )
 
@@ -176,13 +224,26 @@ class RunContext:
         context are attached to it.
         """
         if exc is not None:
+            self._emit_new_faults()
+            self.emit(OBS.RUN_ABORT, self.algorithm,
+                      error=type(exc).__name__)
             self.leaked_on_abort = self.memory.release_all()
             if isinstance(exc, ReproError):
                 exc.report = self.report(complete=False)
                 exc.run_context = self
         else:
+            self._emit_new_faults()
             self.memory.release_all()
         return False
+
+    def _emit_new_faults(self) -> None:
+        """Mirror FaultPlan rules that fired during this context."""
+        if self.faults is None:
+            return
+        for fe in self.faults.fired[self._fault_base:]:
+            self.emit(OBS.FAULT, fe.site, rule=fe.rule, fault_kind=fe.kind,
+                      site=fe.site)
+        self._fault_base = len(self.faults.fired)
 
 
 class SpGEMMAlgorithm(abc.ABC):

@@ -158,6 +158,36 @@ def memory_ratio_table(runs: list[BenchRun],
     return "\n".join(lines)
 
 
+def metrics_phase_table(runs: list[BenchRun],
+                        algorithms: tuple[str, ...] = DISPLAY_ORDER) -> str:
+    """Figure 5 phase breakdown read back *from the metrics registry*.
+
+    Unlike :func:`breakdown_table` (which reads ``report.phase_seconds``
+    directly), every number here is the ``phase_seconds`` counter of the
+    run's exported :class:`~repro.obs.metrics.MetricsRegistry` -- the same
+    path the Chrome-trace export and the golden summaries use, so this
+    table doubles as an end-to-end check that the observability layer
+    carries the full timing signal.
+    """
+    datasets = list(dict.fromkeys(r.dataset for r in runs))
+    by_key = {(r.dataset, r.algorithm): r for r in runs}
+    head = (f"{'Matrix':<18}{'alg':>10}"
+            + "".join(f"{p:>11}" for p in PHASES) + f"{'total':>11}")
+    lines = [head, "(all values in simulated us, from metric "
+                   "phase_seconds{phase=...})"]
+    for d in datasets:
+        for a in algorithms:
+            r = by_key.get((d, a))
+            if r is None or r.report is None:
+                continue
+            m = r.report.metrics()
+            secs = [m.value("phase_seconds", phase=p) or 0.0 for p in PHASES]
+            lines.append(f"{d:<18}{a:>10}"
+                         + "".join(f"{s * 1e6:>11.1f}" for s in secs)
+                         + f"{sum(secs) * 1e6:>11.1f}")
+    return "\n".join(lines)
+
+
 def breakdown_table(runs: list[BenchRun]) -> str:
     """Figures 5/6: per-phase time, normalized to cuSPARSE's total (= 1).
 

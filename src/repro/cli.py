@@ -22,6 +22,13 @@ import sys
 
 from repro.baselines.registry import ALGORITHMS, DISPLAY_ORDER
 
+#: CLI spellings accepted for --algorithm beyond the registry names.
+ALGORITHM_ALIASES = {"hash": "proposal", "nsparse": "proposal"}
+
+#: Subcommand names; a leading option is routed to ``multiply`` (so
+#: ``python -m repro --algo hash --trace-json out.json`` works bare).
+COMMANDS = ("info", "multiply", "suite", "datasets", "memory")
+
 
 def _add_device_arg(p: argparse.ArgumentParser) -> None:
     p.add_argument("--device", choices=("P100", "K40"), default="P100",
@@ -45,20 +52,33 @@ def _build_parser() -> argparse.ArgumentParser:
     _add_device_arg(p)
 
     p = sub.add_parser("multiply", help="run one SpGEMM and report")
-    src = p.add_mutually_exclusive_group(required=True)
+    src = p.add_mutually_exclusive_group()
     src.add_argument("--matrix", metavar="FILE.mtx",
                      help="MatrixMarket file to square")
     src.add_argument("--dataset", metavar="NAME",
                      help="benchmark dataset analogue (see 'datasets')")
     src.add_argument("--generate", metavar="KIND:N:NNZ",
                      help="synthetic matrix, e.g. banded:2000:30, "
-                          "stencil:40000:4, powerlaw:20000:4")
-    p.add_argument("--algorithm", choices=sorted(ALGORITHMS),
-                   default="proposal")
+                          "stencil:40000:4, powerlaw:20000:4 "
+                          "(default: banded:1000:16)")
+    p.add_argument("--algorithm", "--algo",
+                   choices=sorted(ALGORITHMS) + sorted(ALGORITHM_ALIASES),
+                   default="proposal",
+                   help="algorithm registry name ('hash' is an alias for "
+                        "the proposal)")
     p.add_argument("--precision", choices=("single", "double"),
                    default="double")
     p.add_argument("--timeline", action="store_true",
                    help="print the kernel Gantt chart")
+    p.add_argument("--metrics", action="store_true",
+                   help="print the metrics registry (Prometheus-style "
+                        "text exposition) derived from the run")
+    p.add_argument("--trace-json", metavar="FILE",
+                   help="export the run as a Chrome trace "
+                        "(load in chrome://tracing or ui.perfetto.dev)")
+    p.add_argument("--trace-summary", metavar="FILE",
+                   help="write the canonical text trace summary "
+                        "('-' for stdout)")
     p.add_argument("--resilient", action="store_true",
                    help="wrap the algorithm in the degradation ladder "
                         "(retry, row-panel chunking, algorithm fallback)")
@@ -81,6 +101,9 @@ def _build_parser() -> argparse.ArgumentParser:
                    default="single")
     p.add_argument("--large", action="store_true",
                    help="use the Table III large-graph suite instead")
+    p.add_argument("--breakdown", action="store_true",
+                   help="also print the Figure 5 phase breakdown derived "
+                        "from the metrics registry")
 
     sub.add_parser("datasets", help="list benchmark datasets")
 
@@ -102,6 +125,10 @@ def _load_matrix(args):
         return get_dataset(args.dataset).matrix(), args.dataset
 
     from repro.sparse import generators as G
+
+    if not args.generate:
+        # no source given: a small deterministic default workload
+        return G.banded(1000, 16, rng=0), "banded:1000"
 
     try:
         kind, n, nnz = args.generate.split(":")
@@ -162,7 +189,8 @@ def cmd_multiply(args) -> int:
     A, name = _load_matrix(args)
     print(f"{name}: {A.n_rows:,} x {A.n_cols:,}, {A.nnz:,} nonzeros")
 
-    algorithm, options = args.algorithm, {}
+    algorithm = ALGORITHM_ALIASES.get(args.algorithm, args.algorithm)
+    options = {}
     if args.resilient or args.memory_budget is not None:
         if algorithm != "resilient":
             # keep the chosen algorithm first in the fallback chain
@@ -196,12 +224,41 @@ def cmd_multiply(args) -> int:
     if args.timeline:
         print("\nkernel timeline:")
         print(render_timeline(r.kernels))
+    if args.metrics:
+        print("\n" + r.metrics().render())
+    if args.trace_json:
+        from repro.obs.export import write_chrome_trace
+
+        try:
+            write_chrome_trace(r, args.trace_json)
+        except OSError as e:
+            print(f"cannot write trace to {args.trace_json}: {e}",
+                  file=sys.stderr)
+            return 1
+        print(f"\nChrome trace written to {args.trace_json} "
+              f"(load in chrome://tracing)")
+    if args.trace_summary:
+        from repro.obs.export import trace_summary
+
+        text = trace_summary(r)
+        if args.trace_summary == "-":
+            print("\n" + text, end="")
+        else:
+            try:
+                with open(args.trace_summary, "w", encoding="utf-8") as fh:
+                    fh.write(text)
+            except OSError as e:
+                print(f"cannot write trace summary to {args.trace_summary}: "
+                      f"{e}", file=sys.stderr)
+                return 1
+            print(f"trace summary written to {args.trace_summary}")
     return 0
 
 
 def cmd_suite(args) -> int:
     from repro.bench.datasets import DATASETS, LARGE_GRAPHS
-    from repro.bench.runner import gflops_table, run_suite, speedup_stats
+    from repro.bench.runner import (gflops_table, metrics_phase_table,
+                                    run_suite, speedup_stats)
 
     names = list(LARGE_GRAPHS if args.large else DATASETS)
     runs = run_suite(names, algorithms=DISPLAY_ORDER,
@@ -210,6 +267,9 @@ def cmd_suite(args) -> int:
     print()
     for base, (mx, gm) in speedup_stats(runs).items():
         print(f"proposal vs {base:<9}: max x{mx:.1f}  geomean x{gm:.2f}")
+    if args.breakdown:
+        print("\nphase breakdown (from the metrics registry):")
+        print(metrics_phase_table(runs))
     return 0
 
 
@@ -232,6 +292,12 @@ def cmd_memory(args) -> int:
 
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
+    if argv is None:
+        argv = sys.argv[1:]
+    # bare option flags route to 'multiply' (the common case), so
+    # ``python -m repro --algo hash --trace-json out.json`` just works
+    if argv and argv[0].startswith("-") and argv[0] not in ("-h", "--help"):
+        argv = ["multiply", *argv]
     args = _build_parser().parse_args(argv)
     handlers = {
         "info": cmd_info,

@@ -50,6 +50,25 @@ class GroupAssignment:
         """Device memory of the gathered row-index arrays (4 B per row)."""
         return 4 * self.n_rows
 
+    def stats(self, counts: np.ndarray) -> list[dict]:
+        """Per-group decision record for the observability event stream.
+
+        One dict per *non-empty* group: its id, kernel assignment, row
+        count and the range of ``counts`` (products or nnz) it received.
+        """
+        counts = np.asarray(counts)
+        out = []
+        for params, rows in self.nonempty():
+            c = counts[rows]
+            out.append({
+                "group": params.gid,
+                "assign": params.assignment,
+                "rows": int(rows.shape[0]),
+                "count_min": int(c.min()),
+                "count_max": int(c.max()),
+            })
+        return out
+
 
 def _bounds(params: GroupParams, metric: str) -> tuple[int, float]:
     if metric == "products":

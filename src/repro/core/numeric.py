@@ -28,6 +28,8 @@ class NumericPlan:
 
     kernels: list[KernelLaunch] = field(default_factory=list)
     global_table_bytes: int = 0    #: Group-0 value tables in device memory
+    #: per-group hash-table occupancy (emitted as ``hash_stats`` events)
+    table_stats: list[dict] = field(default_factory=list)
 
 
 def _shared_kernel(params: GroupParams, nnz_a, nprod, nnz_out,
@@ -123,8 +125,23 @@ def plan_numeric(A, assignment: GroupAssignment, row_products: np.ndarray,
             plan.kernels.append(
                 _global_kernel(params, nnz_a, nprod, nnz_out, sizes,
                                precision, stream))
+            load = nnz_out / np.maximum(sizes, 1.0)
+            plan.table_stats.append({
+                "group": params.gid, "tables": int(rows.shape[0]),
+                "table_entries": int(sizes.sum()),
+                "load_mean": float(load.mean()) if load.size else 0.0,
+                "load_max": float(load.max()) if load.size else 0.0,
+            })
         else:
             plan.kernels.append(
                 _shared_kernel(params, nnz_a, nprod, nnz_out, precision,
                                device, stream))
+            tsize = params.table_numeric
+            load = nnz_out / max(tsize, 1)
+            plan.table_stats.append({
+                "group": params.gid, "tables": int(rows.shape[0]),
+                "table_entries": int(tsize),
+                "load_mean": float(load.mean()) if load.size else 0.0,
+                "load_max": float(load.max()) if load.size else 0.0,
+            })
     return plan

@@ -38,6 +38,8 @@ from repro.errors import DeviceMemoryError, HashTableError
 from repro.gpu.device import P100, DeviceSpec
 from repro.gpu.faults import FaultPlan
 from repro.gpu.timeline import PHASES, KernelRecord, SimReport
+from repro.obs import events as OBS
+from repro.obs.events import Event
 from repro.sparse.csr import CSRMatrix
 from repro.types import Precision
 
@@ -122,6 +124,7 @@ def merge_panel_reports(reports: list[SimReport], *, algorithm: str,
     """
     phase_seconds = {p: 0.0 for p in PHASES}
     kernels: list[KernelRecord] = []
+    events: list[Event] = []
     offset = 0.0
     for r in reports:
         for p, dt in r.phase_seconds.items():
@@ -131,6 +134,8 @@ def merge_panel_reports(reports: list[SimReport], *, algorithm: str,
                 name=k.name, phase=k.phase, stream=k.stream,
                 start=k.start + offset, end=k.end + offset,
                 n_blocks=k.n_blocks, block_seconds=k.block_seconds))
+        for e in r.events:
+            events.append(e.shifted(offset))
         offset += r.total_seconds
     first = reports[0]
     return SimReport(
@@ -145,6 +150,7 @@ def merge_panel_reports(reports: list[SimReport], *, algorithm: str,
         peak_bytes=max(r.peak_bytes for r in reports),
         malloc_count=sum(r.malloc_count for r in reports),
         kernels=kernels,
+        events=events,
     )
 
 
@@ -216,12 +222,26 @@ class ResilientSpGEMM(SpGEMMAlgorithm):
                     rep.final_algorithm = algo.name
                     rep.final_strategy = strategy
                     result.resilience = rep
+                    self._emit_ladder(result.report, rep)
                     return result
                 last_error = err
 
         assert last_error is not None
         last_error.resilience = rep
         raise last_error
+
+    @staticmethod
+    def _emit_ladder(report: SimReport, rep: ResilienceReport) -> None:
+        """Append one ``resilience`` event per ladder attempt to the final
+        report's event stream (at the end of the timeline, so timestamp
+        monotonicity is preserved)."""
+        ts = report.total_seconds
+        for a in rep.attempts:
+            report.events.append(Event(
+                ts=ts, kind=OBS.RESILIENCE, name=a.strategy,
+                attrs={"algorithm": a.algorithm, "panels": a.panels,
+                       "budget_bytes": a.budget_bytes, "ok": a.ok,
+                       "error": a.error, "injected": a.injected}))
 
     def _ladder(self, budget: int, n_rows: int):
         """Yield ``(strategy, budget, panels)`` rungs for one algorithm."""

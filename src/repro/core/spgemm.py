@@ -30,6 +30,7 @@ from repro.core.params import PWARP_WIDTH, build_group_table
 from repro.core.symbolic import plan_symbolic
 from repro.gpu.device import P100, DeviceSpec
 from repro.gpu.faults import FaultPlan
+from repro.obs import events as OBS
 from repro.sparse.csr import CSRMatrix
 from repro.sparse.product import product_for
 from repro.types import INDEX_DTYPE, Precision
@@ -94,6 +95,8 @@ class HashSpGEMM(SpGEMMAlgorithm):
         ctx.run("setup", [count_products_kernel(A)],
                 use_streams=self.use_streams)
         sym_groups = self._group(row_products, table, "products")
+        for g in sym_groups.stats(row_products):
+            ctx.emit(OBS.GROUPING, "symbolic", **g)
         d_sym_groups = ctx.alloc("group_rows_symbolic",
                                  sym_groups.device_bytes(), phase="setup")
         ctx.run("setup", [pass_over_rows_kernel("grouping_symbolic", n_rows, 4.0)],
@@ -102,6 +105,8 @@ class HashSpGEMM(SpGEMMAlgorithm):
         # ---- (3) count: symbolic kernels, one stream per group ----
         d_nnz = ctx.alloc("row_nnz", 4 * (n_rows + 1), phase="setup")
         sym_plan = plan_symbolic(A, sym_groups, row_products, row_nnz, device)
+        for s in sym_plan.table_stats:
+            ctx.emit(OBS.HASH_STATS, "symbolic", **s)
         ctx.run("count", sym_plan.kernels, use_streams=self.use_streams)
         if sym_plan.retry_kernel is not None:
             tables = ctx.alloc("g0_symbolic_tables",
@@ -122,6 +127,8 @@ class HashSpGEMM(SpGEMMAlgorithm):
 
         # ---- (6) setup: numeric grouping by nnz ----
         num_groups = self._group(row_nnz, table, "nnz")
+        for g in num_groups.stats(row_nnz):
+            ctx.emit(OBS.GROUPING, "numeric", **g)
         d_num_groups = ctx.alloc("group_rows_numeric",
                                  num_groups.device_bytes(), phase="setup")
         ctx.run("setup", [pass_over_rows_kernel("grouping_numeric", n_rows, 4.0)],
@@ -129,6 +136,8 @@ class HashSpGEMM(SpGEMMAlgorithm):
 
         # ---- (7) calc: numeric kernels, one stream per group ----
         num_plan = plan_numeric(A, num_groups, row_products, row_nnz, p, device)
+        for s in num_plan.table_stats:
+            ctx.emit(OBS.HASH_STATS, "numeric", **s)
         g0_tables = None
         if num_plan.global_table_bytes:
             g0_tables = ctx.alloc("g0_numeric_tables",

@@ -37,6 +37,17 @@ class SymbolicPlan:
     failed_rows: np.ndarray = field(default_factory=lambda: np.empty(0, np.int64))
     global_table_bytes: int = 0        #: global hash tables for failed rows
     row_nnz: np.ndarray = field(default_factory=lambda: np.empty(0, np.int64))
+    #: per-group hash-table occupancy (emitted as ``hash_stats`` events)
+    table_stats: list[dict] = field(default_factory=list)
+
+
+def _table_stat(gid: int, tables: int, entries: int,
+                nnz_out: np.ndarray) -> dict:
+    """Occupancy of one group's hash tables: load = distinct keys / size."""
+    load = np.asarray(nnz_out, np.float64) / max(entries, 1)
+    return {"group": gid, "tables": int(tables), "table_entries": int(entries),
+            "load_mean": float(load.mean()) if load.size else 0.0,
+            "load_max": float(load.max()) if load.size else 0.0}
 
 
 def _tb_kernel(params: GroupParams, nnz_a, nprod, nnz_out,
@@ -153,10 +164,16 @@ def plan_symbolic(A, assignment: GroupAssignment, row_products: np.ndarray,
         if params.assignment == ASSIGN_PWARP:
             plan.kernels.append(
                 _pwarp_kernel(params, nnz_a, nprod, nnz_out, device, stream))
+            plan.table_stats.append(_table_stat(
+                params.gid, rows.shape[0], params.table_symbolic, nnz_out))
         elif params.assignment == ASSIGN_GLOBAL:
             plan.kernels.append(
                 _group0_try_kernel(params, try_table, nnz_a, nprod, nnz_out,
                                    stream))
+            # the try tables' load factor exceeding 1.0 is exactly the
+            # overflow that routes rows into the global retry
+            plan.table_stats.append(_table_stat(
+                params.gid, rows.shape[0], try_table, nnz_out))
             failed_mask = nnz_out > try_table
             failed = rows[failed_mask]
             if failed.shape[0]:
@@ -167,7 +184,17 @@ def plan_symbolic(A, assignment: GroupAssignment, row_products: np.ndarray,
                 plan.retry_kernel = _group0_retry_kernel(
                     params, nnz_a[failed_mask], nprod[failed_mask],
                     nnz_out[failed_mask], sizes)
+                retry_load = nnz_out[failed_mask] / sizes
+                plan.table_stats.append({
+                    "group": params.gid, "tables": int(failed.shape[0]),
+                    "table_entries": int(sizes.sum()),
+                    "load_mean": float(retry_load.mean()),
+                    "load_max": float(retry_load.max()),
+                    "retry": True,
+                })
         else:
             plan.kernels.append(
                 _tb_kernel(params, nnz_a, nprod, nnz_out, device, stream))
+            plan.table_stats.append(_table_stat(
+                params.gid, rows.shape[0], params.table_symbolic, nnz_out))
     return plan

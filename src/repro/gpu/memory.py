@@ -56,13 +56,20 @@ class DeviceMemory:
         Optional :class:`~repro.gpu.faults.FaultPlan` consulted on every
         allocation: it can shrink the effective capacity or force an OOM
         at a chosen site.
+    observer:
+        Optional callback ``observer(event, peak)`` invoked with every
+        :class:`AllocationEvent` as it is appended (including the
+        teardown frees of :meth:`release_all`).  The run context uses it
+        to mirror memory traffic onto its observability event bus.
     """
 
     def __init__(self, device: DeviceSpec, *, charge_time: bool = True,
-                 faults: FaultPlan | None = None) -> None:
+                 faults: FaultPlan | None = None,
+                 observer=None) -> None:
         self.device = device
         self.charge_time = charge_time
         self.faults = faults
+        self.observer = observer
         self.in_use = 0
         self.peak = 0
         self.malloc_seconds = 0.0
@@ -70,6 +77,11 @@ class DeviceMemory:
         self.n_allocs = 0
         self.events: list[AllocationEvent] = []
         self._live: dict[int, Allocation] = {}
+
+    def _record(self, event: AllocationEvent) -> None:
+        self.events.append(event)
+        if self.observer is not None:
+            self.observer(event, self.peak)
 
     # ------------------------------------------------------------------
 
@@ -113,7 +125,7 @@ class DeviceMemory:
         self.n_allocs += 1
         if self.charge_time:
             self.malloc_seconds += self.device.malloc_seconds(nbytes)
-        self.events.append(AllocationEvent("alloc", name, nbytes, self.in_use))
+        self._record(AllocationEvent("alloc", name, nbytes, self.in_use))
         return a
 
     def free(self, allocation: Allocation) -> None:
@@ -135,7 +147,7 @@ class DeviceMemory:
         self.in_use -= allocation.nbytes
         if self.charge_time:
             self.free_seconds += self.device.free_seconds()
-        self.events.append(
+        self._record(
             AllocationEvent("free", allocation.name, allocation.nbytes, self.in_use))
 
     def free_all(self) -> None:
@@ -153,8 +165,7 @@ class DeviceMemory:
         for a in released:
             a.freed = True
             self.in_use -= a.nbytes
-            self.events.append(
-                AllocationEvent("free", a.name, a.nbytes, self.in_use))
+            self._record(AllocationEvent("free", a.name, a.nbytes, self.in_use))
         self._live.clear()
         return released
 

@@ -10,6 +10,11 @@ the peak-memory figure behind Figure 4.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
+    from repro.obs.events import Event
+    from repro.obs.metrics import MetricsRegistry
 
 #: Canonical phase names, in execution order, as used by the breakdown plots.
 PHASES = ("setup", "count", "calc", "malloc")
@@ -69,6 +74,11 @@ class SimReport:
     peak_bytes: int
     malloc_count: int
     kernels: list[KernelRecord] = field(default_factory=list)
+    #: Structured observability stream (see :mod:`repro.obs.events`).  For
+    #: a live run this is the run context's own event list, so the
+    #: teardown events appended when the ``with`` block exits are visible
+    #: through an already-returned report.
+    events: "list[Event]" = field(default_factory=list)
     #: False for the partial report of a run aborted by an error (attached
     #: to the raised ReproError by the run context's exception path).
     complete: bool = True
@@ -84,6 +94,17 @@ class SimReport:
         if self.total_seconds <= 0:
             return 0.0
         return self.flops / self.total_seconds / 1e9
+
+    def metrics(self) -> "MetricsRegistry":
+        """The run's labelled metrics registry (see :mod:`repro.obs`).
+
+        Derived deterministically from this report, so phase totals,
+        kernel times and memory counters agree with the report's own
+        fields by construction.
+        """
+        from repro.obs.metrics import metrics_from_report
+
+        return metrics_from_report(self)
 
     def phase_fraction(self, phase: str) -> float:
         """Share of total time spent in ``phase``."""

@@ -19,24 +19,34 @@ from repro.gpu.timeline import KernelRecord
 #: Width of the bar area in characters.
 DEFAULT_WIDTH = 60
 
+#: Smallest usable bar area; narrower requests are clamped up to this, so
+#: a terminal narrower than the name column cannot produce negative bar
+#: widths (which used to garble or crash the rendering).
+MIN_WIDTH = 8
+
 
 def render_timeline(kernels: list[KernelRecord], *,
                     width: int = DEFAULT_WIDTH) -> str:
     """Render kernel records as an ASCII Gantt chart.
 
     The time axis spans the earliest start to the latest end; every
-    kernel gets one row with its stream id and duration.
+    kernel gets one row with its stream id and duration.  Rows are sorted
+    by (stream, start time), so kernels sharing a name on different
+    streams stay attached to their own stream's bar instead of appearing
+    in scheduler-record order, where the label next to a bar could belong
+    to the same-named kernel of another stream.
     """
     if not kernels:
         return "(no kernels)"
+    width = max(int(width), MIN_WIDTH)
     t0 = min(k.start for k in kernels)
     t1 = max(k.end for k in kernels)
     span = max(t1 - t0, 1e-12)
     name_w = max(len(k.name) for k in kernels)
 
     lines = []
-    for k in kernels:
-        lo = int((k.start - t0) / span * width)
+    for k in sorted(kernels, key=lambda k: (k.stream, k.start, k.name)):
+        lo = min(int((k.start - t0) / span * width), width - 1)
         hi = max(lo + 1, int((k.end - t0) / span * width))
         hi = min(hi, width)
         bar = " " * lo + "=" * (hi - lo) + " " * (width - hi)

@@ -1,0 +1,56 @@
+"""Structured observability: typed events, a metrics registry, exporters.
+
+The run pipeline emits :class:`~repro.obs.events.Event` records on the
+:class:`~repro.obs.events.EventBus` owned by every
+:class:`~repro.base.RunContext` -- kernel launches and retirements,
+allocation/free traffic with watermarks, grouping decisions, hash-table
+occupancy, injected faults and resilience-ladder transitions.  The event
+stream is carried on the :class:`~repro.gpu.timeline.SimReport` and feeds:
+
+* :func:`~repro.obs.metrics.metrics_from_report` -- a labelled metrics
+  registry (counters / gauges / histograms) derived deterministically
+  from a report;
+* :func:`~repro.obs.export.chrome_trace` -- a ``chrome://tracing`` /
+  Perfetto-loadable JSON trace (streams become tracks);
+* :func:`~repro.obs.export.trace_summary` -- a canonical text rendering
+  designed for golden-file regression comparison.
+"""
+
+from repro.obs.events import (
+    ALLOC,
+    CHARGE,
+    EVENT_KINDS,
+    FAULT,
+    FREE,
+    GROUPING,
+    HASH_STATS,
+    KERNEL_LAUNCH,
+    KERNEL_RETIRE,
+    RESILIENCE,
+    RUN_ABORT,
+    Event,
+    EventBus,
+)
+from repro.obs.export import chrome_trace, trace_summary, write_chrome_trace
+from repro.obs.metrics import MetricsRegistry, metrics_from_report
+
+__all__ = [
+    "ALLOC",
+    "CHARGE",
+    "EVENT_KINDS",
+    "Event",
+    "EventBus",
+    "FAULT",
+    "FREE",
+    "GROUPING",
+    "HASH_STATS",
+    "KERNEL_LAUNCH",
+    "KERNEL_RETIRE",
+    "MetricsRegistry",
+    "RESILIENCE",
+    "RUN_ABORT",
+    "chrome_trace",
+    "metrics_from_report",
+    "trace_summary",
+    "write_chrome_trace",
+]

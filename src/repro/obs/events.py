@@ -1,0 +1,150 @@
+"""Typed, timestamped run events and the bus that collects them.
+
+Every :class:`~repro.base.RunContext` owns an :class:`EventBus`; the
+simulator layers publish onto it as the run advances, so the final
+:class:`~repro.gpu.timeline.SimReport` carries a machine-readable record
+of *what actually happened* -- the substrate of the Chrome-trace export,
+the metrics registry and the golden-trace regression suite.
+
+Timestamps are simulated seconds on the run's clock and are emitted in
+nondecreasing order (enforced by :meth:`EventBus.emit`'s callers sorting
+concurrent batches; asserted by the property-based tests).
+
+Event kinds
+-----------
+``kernel_launch`` / ``kernel_retire``
+    One pair per scheduled kernel; attrs: ``phase``, ``stream``,
+    ``n_blocks`` and (on retire) ``seconds`` and ``block_seconds``.
+``charge``
+    A time charge against a phase -- the only way simulated time
+    accumulates.  ``name`` is the phase; attrs: ``seconds``, ``source``
+    (``kernels`` | ``sync`` | ``malloc`` | ``free``) and ``detail`` (the
+    sub-phase's kernel set or the buffer name).  Summing ``seconds`` over
+    the charges of a phase reproduces ``SimReport.phase_seconds`` exactly
+    (the metrics-conservation property).
+``alloc`` / ``free``
+    Device-memory traffic; attrs: ``nbytes``, ``in_use``, ``peak``.
+    Teardown frees (end of the ``with`` block, including the abort path)
+    appear here too, so allocated minus freed bytes is zero at run exit.
+``grouping``
+    One per non-empty row group per grouping pass; ``name`` is the stage
+    (``symbolic`` | ``numeric``); attrs: ``group``, ``assign``, ``rows``
+    and the count range covered.
+``hash_stats``
+    Hash-table occupancy per group and stage; attrs: ``group``,
+    ``tables``, ``table_entries``, ``load_mean``, ``load_max``.
+``fault_injected``
+    A :class:`~repro.gpu.faults.FaultPlan` rule fired; attrs: ``site``,
+    ``rule``, ``fault_kind``.
+``run_abort``
+    The context exited on an exception; attrs: ``error`` (type name).
+``resilience``
+    A ladder transition of :class:`~repro.core.resilient.ResilientSpGEMM`;
+    ``name`` is the strategy (``plain`` | ``retry`` | ``panels``); attrs:
+    ``algorithm``, ``panels``, ``budget_bytes``, ``ok``, ``error``,
+    ``injected``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Iterator
+
+KERNEL_LAUNCH = "kernel_launch"
+KERNEL_RETIRE = "kernel_retire"
+CHARGE = "charge"
+ALLOC = "alloc"
+FREE = "free"
+GROUPING = "grouping"
+HASH_STATS = "hash_stats"
+FAULT = "fault_injected"
+RUN_ABORT = "run_abort"
+RESILIENCE = "resilience"
+
+#: All kinds the pipeline emits (exporters treat unknown kinds as opaque).
+EVENT_KINDS = (KERNEL_LAUNCH, KERNEL_RETIRE, CHARGE, ALLOC, FREE, GROUPING,
+               HASH_STATS, FAULT, RUN_ABORT, RESILIENCE)
+
+#: ``source`` values a ``charge`` event may carry.
+CHARGE_SOURCES = ("kernels", "sync", "malloc", "free")
+
+
+@dataclass
+class Event:
+    """One observability event.
+
+    ``attrs`` values are JSON-representable scalars (str/int/float/bool),
+    so every event round-trips through the Chrome-trace export.
+    """
+
+    ts: float                  #: simulated seconds on the run clock
+    kind: str                  #: one of :data:`EVENT_KINDS`
+    name: str                  #: kernel/buffer/phase/stage name
+    attrs: dict[str, Any] = field(default_factory=dict)
+
+    def shifted(self, offset: float) -> "Event":
+        """Copy with the timestamp moved by ``offset`` (panel merging)."""
+        return Event(ts=self.ts + offset, kind=self.kind, name=self.name,
+                     attrs=dict(self.attrs))
+
+
+class EventBus:
+    """Ordered collector of :class:`Event` with optional subscribers.
+
+    The bus itself is passive storage plus fan-out: ``emit`` appends and
+    notifies subscribers synchronously.  Callers emitting a batch of
+    concurrent events (e.g. the kernel records of one phase) sort the
+    batch by timestamp first so the stream stays nondecreasing.
+    """
+
+    def __init__(self) -> None:
+        self.events: list[Event] = []
+        self._subscribers: list[Callable[[Event], None]] = []
+
+    # -- publishing --------------------------------------------------------
+
+    def emit(self, kind: str, name: str, ts: float, **attrs: Any) -> Event:
+        """Append one event and notify subscribers; returns the event."""
+        event = Event(ts=float(ts), kind=kind, name=name, attrs=attrs)
+        self.events.append(event)
+        for fn in self._subscribers:
+            fn(event)
+        return event
+
+    def emit_batch(self, batch: Iterable[Event]) -> None:
+        """Append a batch of events sorted by timestamp (stable)."""
+        for event in sorted(batch, key=lambda e: e.ts):
+            self.events.append(event)
+            for fn in self._subscribers:
+                fn(event)
+
+    def subscribe(self, fn: Callable[[Event], None]) -> None:
+        """Register a callback invoked synchronously on every emit."""
+        self._subscribers.append(fn)
+
+    # -- reading -----------------------------------------------------------
+
+    def __iter__(self) -> Iterator[Event]:
+        return iter(self.events)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def of_kind(self, kind: str) -> list[Event]:
+        """Events of one kind, in emission order."""
+        return [e for e in self.events if e.kind == kind]
+
+    @property
+    def last_ts(self) -> float:
+        """Timestamp of the latest event (0.0 when empty)."""
+        return self.events[-1].ts if self.events else 0.0
+
+
+def is_nondecreasing(events: Iterable[Event]) -> bool:
+    """True when the event timestamps never move backwards."""
+    prev = float("-inf")
+    for e in events:
+        if e.ts < prev:
+            return False
+        prev = e.ts
+    return True

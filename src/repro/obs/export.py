@@ -1,0 +1,200 @@
+"""Exporters: Chrome-trace JSON and the canonical golden-file summary.
+
+:func:`chrome_trace` renders a :class:`~repro.gpu.timeline.SimReport`
+into the Trace Event Format understood by ``chrome://tracing`` and
+Perfetto: every CUDA stream becomes a named track of complete (``X``)
+kernel slices, the phase charges become a ``phases`` track whose
+per-phase duration totals equal ``SimReport.phase_seconds`` to float
+round-off, device memory in use becomes a counter (``C``) series, and
+grouping / hash / fault / resilience events become instants.
+
+:func:`trace_summary` renders the same report as a stable, canonical
+text document: fixed section order, sorted rows, microsecond timestamps
+at nanosecond resolution.  Two runs of the same workload produce
+byte-identical summaries, which is what the golden-trace regression
+suite (``tests/test_goldens.py``) diffs against.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from typing import TYPE_CHECKING, Any
+
+from repro.obs import events as E
+from repro.obs.metrics import metrics_from_report
+
+if TYPE_CHECKING:   # pragma: no cover - typing only
+    from repro.gpu.timeline import SimReport
+
+#: Chrome tid of the phase-charge track (streams are tid = stream + 1).
+PHASE_TRACK = 0
+
+_INSTANT_KINDS = (E.GROUPING, E.HASH_STATS, E.FAULT, E.RUN_ABORT,
+                  E.RESILIENCE)
+
+
+def _us(seconds: float) -> float:
+    return seconds * 1e6
+
+
+def chrome_trace(report: "SimReport") -> dict[str, Any]:
+    """Trace Event Format document for one run (JSON-serializable)."""
+    evs: list[dict[str, Any]] = []
+    pid = 0
+    evs.append({"ph": "M", "pid": pid, "tid": PHASE_TRACK,
+                "name": "process_name",
+                "args": {"name": f"{report.algorithm} on {report.matrix} "
+                                 f"({report.precision}, {report.device})"}})
+    evs.append({"ph": "M", "pid": pid, "tid": PHASE_TRACK,
+                "name": "thread_name", "args": {"name": "phases"}})
+    for stream in sorted({k.stream for k in report.kernels}):
+        evs.append({"ph": "M", "pid": pid, "tid": stream + 1,
+                    "name": "thread_name",
+                    "args": {"name": f"stream {stream}"}})
+
+    for rec in report.kernels:
+        evs.append({"ph": "X", "cat": "kernel", "name": rec.name,
+                    "pid": pid, "tid": rec.stream + 1,
+                    "ts": _us(rec.start), "dur": _us(rec.duration),
+                    "args": {"phase": rec.phase, "n_blocks": rec.n_blocks,
+                             "block_seconds": rec.block_seconds}})
+
+    for e in report.events:
+        if e.kind == E.CHARGE:
+            evs.append({"ph": "X", "cat": "phase", "name": e.name,
+                        "pid": pid, "tid": PHASE_TRACK,
+                        "ts": _us(e.ts),
+                        "dur": _us(e.attrs.get("seconds", 0.0)),
+                        "args": {"source": e.attrs.get("source", ""),
+                                 "detail": e.attrs.get("detail", "")}})
+        elif e.kind in (E.ALLOC, E.FREE):
+            evs.append({"ph": "C", "cat": "memory", "name": "device_memory",
+                        "pid": pid, "ts": _us(e.ts),
+                        "args": {"in_use": e.attrs.get("in_use", 0)}})
+        elif e.kind in _INSTANT_KINDS:
+            evs.append({"ph": "i", "cat": e.kind, "name": e.name,
+                        "pid": pid, "tid": PHASE_TRACK, "ts": _us(e.ts),
+                        "s": "p", "args": dict(e.attrs)})
+
+    return {"traceEvents": evs, "displayTimeUnit": "ns",
+            "otherData": {"algorithm": report.algorithm,
+                          "matrix": report.matrix,
+                          "precision": report.precision,
+                          "device": report.device,
+                          "total_seconds": report.total_seconds,
+                          "peak_bytes": report.peak_bytes,
+                          "complete": report.complete}}
+
+
+def write_chrome_trace(report: "SimReport", path) -> None:
+    """Serialize :func:`chrome_trace` to ``path`` as JSON."""
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(chrome_trace(report), fh, indent=1)
+
+
+def chrome_phase_totals(doc: dict[str, Any]) -> dict[str, float]:
+    """Per-phase seconds recovered from an exported trace document.
+
+    Sums the ``dur`` of the ``phases``-track slices; the acceptance check
+    compares this against ``SimReport.phase_seconds`` to 1e-9.
+    """
+    out: dict[str, float] = {}
+    for e in doc.get("traceEvents", []):
+        if e.get("cat") == "phase" and e.get("ph") == "X":
+            out[e["name"]] = out.get(e["name"], 0.0) + e["dur"] / 1e6
+    return out
+
+
+# ---------------------------------------------------------------------------
+# canonical text summary (golden files)
+# ---------------------------------------------------------------------------
+
+def _tus(seconds: float) -> str:
+    """Microseconds at nanosecond resolution: stable and review-friendly."""
+    return f"{seconds * 1e6:.3f}"
+
+
+def trace_summary(report: "SimReport") -> str:
+    """Canonical text rendering of a run for golden-file comparison.
+
+    The layout is versioned; bump the header when changing it so stale
+    goldens fail with an explanation rather than a wall of diff.
+    """
+    lines = [
+        "# repro trace summary v1",
+        f"algorithm: {report.algorithm}",
+        f"matrix: {report.matrix}",
+        f"precision: {report.precision}",
+        f"device: {report.device}",
+        f"complete: {str(report.complete).lower()}",
+        f"n_products: {report.n_products}",
+        f"nnz_out: {report.nnz_out}",
+        f"peak_bytes: {report.peak_bytes}",
+        f"malloc_count: {report.malloc_count}",
+        f"total_us: {_tus(report.total_seconds)}",
+        "",
+        "[phases]",
+    ]
+    comp: dict[str, dict[str, float]] = {}
+    for e in report.events:
+        if e.kind == E.CHARGE:
+            by = comp.setdefault(e.name, {})
+            src = e.attrs.get("source", "other")
+            by[src] = by.get(src, 0.0) + e.attrs.get("seconds", 0.0)
+    for p, dt in report.phase_seconds.items():
+        parts = comp.get(p, {})
+        detail = " ".join(f"{s}={_tus(parts[s])}" for s in sorted(parts))
+        lines.append(f"phase {p} total_us={_tus(dt)}"
+                     + (f" {detail}" if detail else ""))
+
+    lines += ["", "[kernels]"]
+    for rec in sorted(report.kernels,
+                      key=lambda r: (r.start, r.stream, r.name)):
+        lines.append(
+            f"kernel {rec.phase} {rec.name} stream={rec.stream} "
+            f"start_us={_tus(rec.start)} dur_us={_tus(rec.duration)} "
+            f"blocks={rec.n_blocks} busy_us={_tus(rec.block_seconds)}")
+
+    grouping = [e for e in report.events if e.kind == E.GROUPING]
+    if grouping:
+        lines += ["", "[grouping]"]
+        for e in grouping:
+            a = e.attrs
+            lines.append(
+                f"grouping {e.name} g{a.get('group')} "
+                f"assign={a.get('assign')} rows={a.get('rows')} "
+                f"count_min={a.get('count_min')} count_max={a.get('count_max')}")
+
+    hashes = [e for e in report.events if e.kind == E.HASH_STATS]
+    if hashes:
+        lines += ["", "[hash_tables]"]
+        for e in hashes:
+            a = e.attrs
+            lines.append(
+                f"hash {e.name} g{a.get('group')} tables={a.get('tables')} "
+                f"entries={a.get('table_entries')} "
+                f"load_mean={a.get('load_mean', 0.0):.4f} "
+                f"load_max={a.get('load_max', 0.0):.4f}")
+
+    lines += ["", "[memory]"]
+    for e in report.events:
+        if e.kind in (E.ALLOC, E.FREE):
+            lines.append(f"{e.kind} {e.name} nbytes={e.attrs.get('nbytes')} "
+                         f"in_use={e.attrs.get('in_use')}")
+
+    extra = [e for e in report.events
+             if e.kind in (E.FAULT, E.RUN_ABORT, E.RESILIENCE)]
+    if extra:
+        lines += ["", "[incidents]"]
+        for e in extra:
+            attrs = " ".join(f"{k}={e.attrs[k]}" for k in sorted(e.attrs))
+            lines.append(f"{e.kind} {e.name} {attrs}".rstrip())
+
+    counts = Counter(e.kind for e in report.events)
+    lines += ["", "[events]"]
+    for kind in sorted(counts):
+        lines.append(f"count {kind} {counts[kind]}")
+
+    lines += ["", "[metrics]", metrics_from_report(report).render(), ""]
+    return "\n".join(lines)

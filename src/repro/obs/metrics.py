@@ -1,0 +1,280 @@
+"""Labelled metrics: counters, gauges and histograms over run reports.
+
+The registry mirrors the Prometheus data model at simulation scale:
+metric *families* hold samples keyed by a canonical label set, e.g.
+``kernel_seconds{kernel="numeric_tb_g3", phase="calc", stream="4"}``.
+:func:`metrics_from_report` derives a full registry deterministically
+from a :class:`~repro.gpu.timeline.SimReport` -- the same numbers the
+CLI's ``--metrics`` flag, the bench runner's metrics tables and the
+E15 experiment render, and the quantities the metrics-conservation
+property tests pin down:
+
+* ``phase_seconds{phase}`` equals the sum of
+  ``phase_component_seconds{phase, component}`` exactly;
+* ``total_seconds`` equals the sum of ``phase_seconds`` over phases;
+* ``alloc_bytes_total`` equals ``free_bytes_total`` at run exit.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import TYPE_CHECKING, Any, Iterator
+
+from repro.obs import events as E
+
+if TYPE_CHECKING:   # pragma: no cover - typing only, avoids an import cycle
+    from repro.gpu.timeline import SimReport
+
+#: Canonical label tuple: sorted (key, value-as-str) pairs.
+LabelKey = tuple[tuple[str, str], ...]
+
+COUNTER = "counter"
+GAUGE = "gauge"
+HISTOGRAM = "histogram"
+
+
+def _labels_key(labels: dict[str, Any]) -> LabelKey:
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+def _render_labels(key: LabelKey) -> str:
+    if not key:
+        return ""
+    inner = ",".join(f'{k}="{v}"' for k, v in key)
+    return "{" + inner + "}"
+
+
+def _fmt_value(v: float) -> str:
+    """Stable numeric formatting: integers render bare, floats as %.9g."""
+    if float(v).is_integer() and abs(v) < 1e15:
+        return str(int(v))
+    return f"{v:.9g}"
+
+
+class MetricFamily:
+    """One named metric with labelled samples.
+
+    Counters accumulate via :meth:`inc`, gauges overwrite via :meth:`set`,
+    histograms collect observations via :meth:`observe` and render as
+    ``_count`` / ``_sum`` / ``_min`` / ``_max`` samples.
+    """
+
+    def __init__(self, name: str, kind: str, help: str = "") -> None:
+        self.name = name
+        self.kind = kind
+        self.help = help
+        self.samples: dict[LabelKey, Any] = {}
+
+    def inc(self, value: float = 1.0, **labels: Any) -> None:
+        """Counter: add ``value`` (must be non-negative) to the sample."""
+        if self.kind != COUNTER:
+            raise TypeError(f"{self.name} is a {self.kind}, not a counter")
+        if value < 0:
+            raise ValueError(f"counter {self.name} decremented by {value}")
+        key = _labels_key(labels)
+        self.samples[key] = self.samples.get(key, 0.0) + float(value)
+
+    def set(self, value: float, **labels: Any) -> None:
+        """Gauge: record the current value of the sample."""
+        if self.kind != GAUGE:
+            raise TypeError(f"{self.name} is a {self.kind}, not a gauge")
+        self.samples[_labels_key(labels)] = float(value)
+
+    def observe(self, value: float, **labels: Any) -> None:
+        """Histogram: append one observation to the sample."""
+        if self.kind != HISTOGRAM:
+            raise TypeError(f"{self.name} is a {self.kind}, not a histogram")
+        self.samples.setdefault(_labels_key(labels), []).append(float(value))
+
+    # -- reading -----------------------------------------------------------
+
+    def value(self, **labels: Any) -> float:
+        """The sample for an exact label set (0.0 when absent)."""
+        v = self.samples.get(_labels_key(labels), 0.0)
+        return float(len(v)) if isinstance(v, list) else float(v)
+
+    def total(self, **label_filter: Any) -> float:
+        """Sum of samples whose labels include ``label_filter``."""
+        want = set(_labels_key(label_filter))
+        out = 0.0
+        for key, v in self.samples.items():
+            if want <= set(key):
+                out += sum(v) if isinstance(v, list) else v
+        return out
+
+    def render(self) -> list[str]:
+        """Canonical text lines, sorted by label set."""
+        lines = [f"# TYPE {self.name} {self.kind}"]
+        if self.help:
+            lines.insert(0, f"# HELP {self.name} {self.help}")
+        for key in sorted(self.samples):
+            v = self.samples[key]
+            lab = _render_labels(key)
+            if self.kind == HISTOGRAM:
+                obs = v
+                lines.append(f"{self.name}_count{lab} {len(obs)}")
+                lines.append(f"{self.name}_sum{lab} {_fmt_value(sum(obs))}")
+                lines.append(f"{self.name}_min{lab} {_fmt_value(min(obs))}")
+                lines.append(f"{self.name}_max{lab} {_fmt_value(max(obs))}")
+            else:
+                lines.append(f"{self.name}{lab} {_fmt_value(v)}")
+        return lines
+
+
+class MetricsRegistry:
+    """Get-or-create store of :class:`MetricFamily` by name."""
+
+    def __init__(self) -> None:
+        self._families: dict[str, MetricFamily] = {}
+
+    def _family(self, name: str, kind: str, help: str) -> MetricFamily:
+        fam = self._families.get(name)
+        if fam is None:
+            fam = self._families[name] = MetricFamily(name, kind, help)
+        elif fam.kind != kind:
+            raise TypeError(f"metric {name!r} already registered as {fam.kind}")
+        return fam
+
+    def counter(self, name: str, help: str = "") -> MetricFamily:
+        """Monotone accumulator family."""
+        return self._family(name, COUNTER, help)
+
+    def gauge(self, name: str, help: str = "") -> MetricFamily:
+        """Point-in-time value family."""
+        return self._family(name, GAUGE, help)
+
+    def histogram(self, name: str, help: str = "") -> MetricFamily:
+        """Observation-collection family."""
+        return self._family(name, HISTOGRAM, help)
+
+    def __iter__(self) -> Iterator[MetricFamily]:
+        return iter(self._families.values())
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._families
+
+    def value(self, name: str, **labels: Any) -> float:
+        """Exact-label sample of family ``name`` (0.0 when absent)."""
+        fam = self._families.get(name)
+        return fam.value(**labels) if fam else 0.0
+
+    def total(self, name: str, **label_filter: Any) -> float:
+        """Filtered sum over family ``name`` (0.0 when absent)."""
+        fam = self._families.get(name)
+        return fam.total(**label_filter) if fam else 0.0
+
+    def render(self) -> str:
+        """Canonical text exposition, families sorted by name."""
+        lines: list[str] = []
+        for name in sorted(self._families):
+            lines.extend(self._families[name].render())
+        return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# report -> registry
+# ---------------------------------------------------------------------------
+
+_COMPONENT_BY_KIND = {"kernels": "kernels", "sync": "sync",
+                      "malloc": "malloc", "free": "free"}
+
+
+def metrics_from_report(report: "SimReport") -> MetricsRegistry:
+    """Aggregate a run report (and its event stream) into a registry.
+
+    Pure function of the report: calling it twice yields identical
+    renderings, which is what lets the golden-trace suite include the
+    metrics exposition verbatim.
+    """
+    reg = MetricsRegistry()
+
+    run = reg.gauge("run_info", "result statistics of the run")
+    run.set(report.n_products, stat="n_products")
+    run.set(report.nnz_out, stat="nnz_out")
+    run.set(1.0 if report.complete else 0.0, stat="complete")
+    reg.gauge("total_seconds", "simulated wall time").set(report.total_seconds)
+    reg.gauge("peak_bytes", "device-memory high-water mark").set(report.peak_bytes)
+    reg.gauge("malloc_count", "timed cudaMalloc calls").set(report.malloc_count)
+
+    phase = reg.counter("phase_seconds", "per-phase simulated time")
+    for p, dt in report.phase_seconds.items():
+        phase.inc(dt, phase=p)
+
+    k_sec = reg.counter("kernel_seconds", "wall time per kernel launch")
+    k_busy = reg.counter("kernel_block_seconds", "device work per kernel")
+    k_n = reg.counter("kernels_launched_total", "launches per phase")
+    k_hist = reg.histogram("kernel_duration_seconds",
+                           "kernel wall-time distribution per phase")
+    for rec in report.kernels:
+        k_sec.inc(rec.duration, phase=rec.phase, kernel=rec.name,
+                  stream=rec.stream)
+        k_busy.inc(rec.block_seconds, phase=rec.phase, kernel=rec.name)
+        k_n.inc(1, phase=rec.phase)
+        k_hist.observe(rec.duration, phase=rec.phase)
+
+    comp = reg.counter("phase_component_seconds",
+                       "phase time split by charge source")
+    alloc_b = reg.counter("alloc_bytes_total", "bytes allocated")
+    free_b = reg.counter("free_bytes_total", "bytes freed")
+    allocs = reg.counter("allocs_total", "allocation events by buffer")
+    for e in report.events:
+        if e.kind == E.CHARGE:
+            comp.inc(e.attrs.get("seconds", 0.0), phase=e.name,
+                     component=_COMPONENT_BY_KIND.get(
+                         e.attrs.get("source", ""), "other"))
+        elif e.kind == E.ALLOC:
+            alloc_b.inc(e.attrs.get("nbytes", 0))
+            allocs.inc(1, buffer=e.name)
+        elif e.kind == E.FREE:
+            free_b.inc(e.attrs.get("nbytes", 0))
+        elif e.kind == E.GROUPING:
+            reg.counter("group_rows", "rows per group and stage").inc(
+                e.attrs.get("rows", 0), stage=e.name,
+                group=e.attrs.get("group", -1),
+                assign=e.attrs.get("assign", ""))
+        elif e.kind == E.HASH_STATS:
+            reg.gauge("hash_load_factor", "hash-table occupancy").set(
+                e.attrs.get("load_mean", 0.0), stage=e.name,
+                group=e.attrs.get("group", -1), bound="mean")
+            reg.gauge("hash_load_factor").set(
+                e.attrs.get("load_max", 0.0), stage=e.name,
+                group=e.attrs.get("group", -1), bound="max")
+        elif e.kind == E.FAULT:
+            reg.counter("faults_injected_total", "FaultPlan rules fired").inc(
+                1, fault_kind=e.attrs.get("fault_kind", ""))
+        elif e.kind == E.RUN_ABORT:
+            reg.counter("run_aborts_total", "contexts exited on error").inc(
+                1, error=e.attrs.get("error", ""))
+        elif e.kind == E.RESILIENCE:
+            reg.counter("resilience_attempts_total",
+                        "ladder attempts by outcome").inc(
+                1, algorithm=e.attrs.get("algorithm", ""),
+                strategy=e.name, ok=e.attrs.get("ok", ""))
+    return reg
+
+
+def check_conservation(report: "SimReport", *, tol: float = 1e-9) -> None:
+    """Assert the conservation laws the registry is built on.
+
+    Raises :class:`AssertionError` naming the first violated law; used by
+    the property-based tests and available to callers as a self-check.
+    """
+    reg = metrics_from_report(report)
+    for p, dt in report.phase_seconds.items():
+        parts = reg.total("phase_component_seconds", phase=p)
+        if not math.isclose(parts, dt, rel_tol=tol, abs_tol=tol):
+            raise AssertionError(
+                f"phase {p!r}: components sum to {parts!r}, "
+                f"report says {dt!r}")
+    total = sum(report.phase_seconds.values())
+    if not math.isclose(total, report.total_seconds, rel_tol=tol, abs_tol=tol):
+        raise AssertionError(
+            f"phase_seconds sum {total!r} != total_seconds "
+            f"{report.total_seconds!r}")
+    alloc_b = reg.total("alloc_bytes_total")
+    free_b = reg.total("free_bytes_total")
+    if alloc_b != free_b:
+        raise AssertionError(
+            f"alloc {alloc_b:.0f} B != free {free_b:.0f} B at run exit")
+    if not E.is_nondecreasing(report.events):
+        raise AssertionError("event timestamps decrease")

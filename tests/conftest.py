@@ -10,6 +10,19 @@ from repro.sparse import generators
 from repro.sparse.csr import CSRMatrix
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-goldens", action="store_true", default=False,
+        help="rewrite tests/goldens/*.txt from the current runs instead of "
+             "comparing against them")
+
+
+@pytest.fixture
+def update_goldens(request) -> bool:
+    """True when the run should rewrite the golden trace summaries."""
+    return bool(request.config.getoption("--update-goldens"))
+
+
 @pytest.fixture
 def rng():
     """Deterministic RNG per test."""

@@ -1,4 +1,8 @@
-"""Baseline-algorithm tests: correctness and structural cost properties."""
+"""Baseline-algorithm tests: structural cost properties.
+
+Correctness against the reference oracle lives in ``test_differential``,
+which sweeps *every* registry entry over a wider corpus.
+"""
 
 import numpy as np
 import pytest
@@ -14,48 +18,12 @@ from repro.errors import AlgorithmError, DeviceMemoryError
 from repro.gpu.device import P100
 from repro.sparse import generators
 
-from tests.conftest import assert_matches_scipy, to_scipy
-
-BASELINES = ["cusp", "cusparse", "bhsparse"]
-
 GENS = {
     "banded": lambda rng: generators.banded(250, 10, rng=rng),
     "stencil": lambda rng: generators.stencil_regular(300, 4, rng=rng),
     "power_law": lambda rng: generators.power_law(250, 3.0, 60, rng=rng),
     "block": lambda rng: generators.block_dense(64, 16, rng=rng),
 }
-
-
-class TestCorrectness:
-    @pytest.mark.parametrize("algo", BASELINES)
-    @pytest.mark.parametrize("gen", sorted(GENS))
-    def test_matches_scipy(self, algo, gen, rng):
-        A = GENS[gen](rng)
-        result = repro.spgemm(A, A, algorithm=algo, precision="double")
-        assert_matches_scipy(result.matrix, to_scipy(A) @ to_scipy(A),
-                             rtol=1e-10)
-
-    @pytest.mark.parametrize("algo", BASELINES)
-    def test_single_precision(self, algo, rng):
-        A = GENS["banded"](rng)
-        result = repro.spgemm(A, A, algorithm=algo, precision="single")
-        assert result.matrix.dtype == np.float32
-        assert_matches_scipy(result.matrix, to_scipy(A) @ to_scipy(A))
-
-    @pytest.mark.parametrize("algo", BASELINES)
-    def test_rectangular(self, algo, rng):
-        A = generators.random_csr(30, 50, 4, rng=rng)
-        B = generators.random_csr(50, 25, 4, rng=rng)
-        result = repro.spgemm(A, B, algorithm=algo)
-        assert_matches_scipy(result.matrix, to_scipy(A) @ to_scipy(B))
-
-    @pytest.mark.parametrize("algo", BASELINES)
-    def test_report_flops_metric(self, algo, rng):
-        A = GENS["stencil"](rng)
-        r = repro.spgemm(A, A, algorithm=algo).report
-        assert r.algorithm == algo
-        assert r.flops == 2 * r.n_products
-        assert r.total_seconds > 0
 
 
 class TestESCStructure:

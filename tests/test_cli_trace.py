@@ -49,6 +49,40 @@ class TestTrace:
     def test_concurrency_empty(self):
         assert concurrency_profile([]) == []
 
+    def test_same_name_across_streams_keeps_rows_attached(self):
+        """Regression: two kernels sharing a name on different streams
+        used to render in scheduler-record order, so the label next to a
+        bar could belong to the other stream's kernel."""
+        text = render_timeline([rec("numeric_tb", 2, 0.5, 1.0),
+                                rec("numeric_tb", 1, 0.0, 0.5),
+                                rec("scan", 1, 0.5, 0.6)], width=20)
+        lines = text.splitlines()
+        # rows sorted by (stream, start): s1 first, and within s1 by start
+        assert lines[0].startswith("numeric_tb s1 ")
+        assert lines[1].startswith("scan")
+        assert lines[2].startswith("numeric_tb s2 ")
+        # the s1 bar sits in the left half, the s2 bar in the right half
+        s1_bar = lines[0].split("|")[1]
+        s2_bar = lines[2].split("|")[1]
+        assert "=" in s1_bar[:10] and "=" not in s1_bar[10:]
+        assert "=" not in s2_bar[:10] and "=" in s2_bar[10:]
+
+    def test_narrow_width_does_not_crash(self):
+        """Regression: width smaller than the bar area (or <= 0) used to
+        produce negative slice bounds and garbled or crashing output."""
+        kernels = [rec("a_rather_long_kernel_name", 0, 0.0, 1.0),
+                   rec("b", 1, 0.9, 1.1)]
+        for width in (5, 1, 0, -3):
+            text = render_timeline(kernels, width=width)
+            for line in text.splitlines():
+                assert "=" in line or "-" in line
+        # clamped to MIN_WIDTH, all rows share one axis width
+        from repro.gpu.trace import MIN_WIDTH
+
+        bars = [ln.split("|")[1] for ln in
+                render_timeline(kernels, width=-3).splitlines()]
+        assert {len(b) for b in bars} == {MIN_WIDTH}
+
 
 class TestCLI:
     def test_info(self, capsys):
@@ -108,3 +142,47 @@ class TestCLI:
     def test_unknown_command_rejected(self):
         with pytest.raises(SystemExit):
             main(["frobnicate"])
+
+
+class TestObservabilityFlags:
+    def test_bare_flags_route_to_multiply(self, capsys):
+        """The acceptance invocation: no subcommand, alias algo name."""
+        assert main(["--algo", "hash"]) == 0
+        assert "proposal" in capsys.readouterr().out
+
+    def test_trace_json_loadable_and_consistent(self, capsys, tmp_path):
+        import json
+
+        from repro.obs.export import chrome_phase_totals
+
+        path = tmp_path / "out.json"
+        assert main(["--algo", "hash", "--trace-json", str(path)]) == 0
+        doc = json.loads(path.read_text())
+        assert doc["traceEvents"]
+        # per-phase totals in the export match the printed breakdown
+        totals = chrome_phase_totals(doc)
+        assert set(totals) == {"setup", "count", "calc", "malloc"}
+        assert all(v > 0 for v in totals.values())
+
+    def test_metrics_flag(self, capsys):
+        assert main(["--algo", "proposal", "--metrics"]) == 0
+        out = capsys.readouterr().out
+        assert "# TYPE phase_seconds counter" in out
+        assert 'kernel_seconds{' in out
+
+    def test_trace_summary_to_file(self, capsys, tmp_path):
+        path = tmp_path / "summary.txt"
+        assert main(["--generate", "banded:200:8",
+                     "--trace-summary", str(path)]) == 0
+        text = path.read_text()
+        assert text.startswith("# repro trace summary v1")
+        assert "[phases]" in text and "[metrics]" in text
+
+    def test_trace_summary_stdout(self, capsys):
+        assert main(["--trace-summary", "-"]) == 0
+        assert "# repro trace summary v1" in capsys.readouterr().out
+
+    def test_suite_breakdown(self, capsys):
+        assert main(["suite", "--large", "--breakdown"]) == 0
+        out = capsys.readouterr().out
+        assert "phase_seconds{phase=" in out

@@ -1,0 +1,72 @@
+"""Golden-trace regression suite.
+
+Every (workload, algorithm) pair has a checked-in canonical trace summary
+under ``tests/goldens/``.  The summaries capture the full observable
+behaviour of a run -- phase times, kernel schedule, grouping decisions,
+hash-table occupancy, the allocation ledger and the exported metrics -- so
+any change to the simulator's timing, grouping or memory behaviour shows
+up as a readable unified diff here.
+
+To bless intentional changes, regenerate the files::
+
+    PYTHONPATH=src python -m pytest tests/test_goldens.py --update-goldens
+"""
+
+import difflib
+from pathlib import Path
+
+import pytest
+
+from repro.baselines.registry import DISPLAY_ORDER, create
+from repro.obs.export import trace_summary
+from repro.sparse import generators
+
+GOLDEN_DIR = Path(__file__).parent / "goldens"
+
+#: Small deterministic workloads: one regular band matrix and one skewed
+#: power-law matrix (the two structural regimes the grouping distinguishes).
+WORKLOADS = {
+    "banded120": lambda: generators.banded(120, 8, rng=7),
+    "powerlaw150": lambda: generators.power_law(150, 4.0, 60, rng=9),
+}
+
+CASES = [(w, a) for w in sorted(WORKLOADS) for a in DISPLAY_ORDER]
+
+
+def _summarize(workload: str, algorithm: str) -> str:
+    A = WORKLOADS[workload]()
+    result = create(algorithm).multiply(A, A, matrix_name=workload)
+    return trace_summary(result.report)
+
+
+@pytest.mark.parametrize("workload,algorithm", CASES,
+                         ids=[f"{w}-{a}" for w, a in CASES])
+def test_golden_trace(workload, algorithm, update_goldens):
+    got = _summarize(workload, algorithm)
+    path = GOLDEN_DIR / f"{workload}__{algorithm}.txt"
+    if update_goldens:
+        GOLDEN_DIR.mkdir(exist_ok=True)
+        path.write_text(got, encoding="utf-8")
+        pytest.skip(f"golden rewritten: {path.name}")
+    if not path.exists():
+        pytest.fail(f"missing golden {path}; run with --update-goldens")
+    want = path.read_text(encoding="utf-8")
+    if got != want:
+        diff = "".join(difflib.unified_diff(
+            want.splitlines(keepends=True), got.splitlines(keepends=True),
+            fromfile=f"goldens/{path.name}", tofile="current run"))
+        pytest.fail(f"trace summary drifted from golden:\n{diff}")
+
+
+@pytest.mark.parametrize("workload", sorted(WORKLOADS))
+def test_summary_deterministic(workload):
+    """Two consecutive runs must produce byte-identical summaries."""
+    assert _summarize(workload, "proposal") == _summarize(workload, "proposal")
+
+
+def test_goldens_complete():
+    """Every checked-in golden corresponds to a live (workload, algorithm)
+    case -- stale files would silently stop being compared."""
+    expected = {f"{w}__{a}.txt" for w, a in CASES}
+    actual = {p.name for p in GOLDEN_DIR.glob("*.txt")}
+    assert actual == expected
