@@ -1,0 +1,150 @@
+"""CI bench-regression gate: pinned subset, JSON snapshots, 10% fences.
+
+The pinned subset is two generated dataset analogues -- Protein (a
+high-throughput FEM pattern) and Circuit (a low-throughput one) -- run
+single-precision over the paper's four algorithms (the Figure 2 slice),
+plus the E15-style per-phase breakdown for cuSPARSE and the proposal.
+All compared quantities are *modeled* device numbers, so they are exactly
+reproducible across runners; wall-clock is recorded for context and only
+fenced loosely (runner variance).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/regression.py write BENCH_PR.json
+    PYTHONPATH=src python benchmarks/regression.py check \
+        BENCH_BASELINE.json BENCH_PR.json
+
+``check`` exits 1 when any modeled GFLOPS or total-seconds figure
+regresses by more than ``MODELED_TOLERANCE`` (10%), when the run set
+changed, or when wall-clock blows past ``WALL_TOLERANCE`` x baseline.
+Improvements pass (refresh the baseline with ``write`` when intended).
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+
+#: Modeled quantities are deterministic: anything past round-off is real.
+MODELED_TOLERANCE = 0.10
+#: Wall clock varies wildly across CI runners; only a blow-up fails.
+WALL_TOLERANCE = 3.0
+
+#: The pinned subset: one high- and one low-throughput analogue.
+DATASETS = ("Protein", "Circuit")
+PRECISION = "single"
+SCHEMA = 1
+
+
+def collect() -> dict:
+    """Run the pinned subset and snapshot every modeled figure."""
+    from repro.baselines.registry import DISPLAY_ORDER
+    from repro.bench.runner import run_suite
+    from repro.gpu.timeline import PHASES
+
+    t0 = time.perf_counter()
+    runs = run_suite(list(DATASETS), algorithms=DISPLAY_ORDER,
+                     precisions=(PRECISION,))
+    wall = time.perf_counter() - t0
+
+    out = []
+    for r in runs:
+        if r.report is None:
+            out.append({"dataset": r.dataset, "algorithm": r.algorithm,
+                        "oom": True})
+            continue
+        rec = {"dataset": r.dataset, "algorithm": r.algorithm,
+               "gflops": r.gflops,
+               "total_seconds": r.report.total_seconds}
+        if r.algorithm in ("cusparse", "proposal"):
+            # the E15 breakdown slice: per-phase seconds off the metrics
+            m = r.report.metrics()
+            rec["phase_seconds"] = {
+                p: m.value("phase_seconds", phase=p) for p in PHASES}
+        out.append(rec)
+    return {"schema": SCHEMA, "precision": PRECISION,
+            "datasets": list(DATASETS), "wall_seconds": wall, "runs": out}
+
+
+def _key(rec: dict) -> tuple:
+    return (rec["dataset"], rec["algorithm"])
+
+
+def compare(baseline: dict, current: dict) -> list[str]:
+    """All regression messages (empty = gate passes)."""
+    problems: list[str] = []
+    if baseline.get("schema") != current.get("schema"):
+        problems.append(
+            f"schema changed {baseline.get('schema')} -> "
+            f"{current.get('schema')}; refresh the baseline")
+        return problems
+
+    base = {_key(r): r for r in baseline["runs"]}
+    cur = {_key(r): r for r in current["runs"]}
+    if set(base) != set(cur):
+        problems.append(f"run set changed: missing {sorted(set(base) - set(cur))}, "
+                        f"new {sorted(set(cur) - set(base))}")
+        return problems
+
+    for key in sorted(base):
+        b, c = base[key], cur[key]
+        where = f"{key[0]}/{key[1]}"
+        if b.get("oom") != c.get("oom"):
+            problems.append(f"{where}: OOM status changed "
+                            f"{b.get('oom', False)} -> {c.get('oom', False)}")
+            continue
+        if b.get("oom"):
+            continue
+        if c["gflops"] < b["gflops"] * (1.0 - MODELED_TOLERANCE):
+            problems.append(
+                f"{where}: modeled GFLOPS regressed "
+                f"{b['gflops']:.3f} -> {c['gflops']:.3f} "
+                f"(>{MODELED_TOLERANCE:.0%})")
+        if c["total_seconds"] > b["total_seconds"] * (1.0 + MODELED_TOLERANCE):
+            problems.append(
+                f"{where}: modeled total regressed "
+                f"{b['total_seconds'] * 1e6:.1f} -> "
+                f"{c['total_seconds'] * 1e6:.1f} us (>{MODELED_TOLERANCE:.0%})")
+        for p, b_sec in b.get("phase_seconds", {}).items():
+            c_sec = c.get("phase_seconds", {}).get(p, 0.0)
+            if c_sec > b_sec * (1.0 + MODELED_TOLERANCE) + 1e-9:
+                problems.append(
+                    f"{where}: phase {p} regressed "
+                    f"{b_sec * 1e6:.1f} -> {c_sec * 1e6:.1f} us")
+
+    b_wall, c_wall = baseline.get("wall_seconds"), current.get("wall_seconds")
+    if b_wall and c_wall and c_wall > b_wall * WALL_TOLERANCE:
+        problems.append(f"wall clock blew up {b_wall:.2f}s -> {c_wall:.2f}s "
+                        f"(>{WALL_TOLERANCE:.0f}x; modeled numbers above "
+                        f"decide correctness, this flags runner pathology)")
+    return problems
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) >= 2 and argv[0] == "write":
+        doc = collect()
+        with open(argv[1], "w", encoding="utf-8") as fh:
+            json.dump(doc, fh, indent=1, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {argv[1]}: {len(doc['runs'])} runs, "
+              f"wall {doc['wall_seconds']:.2f}s")
+        return 0
+    if len(argv) == 3 and argv[0] == "check":
+        with open(argv[1], encoding="utf-8") as fh:
+            baseline = json.load(fh)
+        with open(argv[2], encoding="utf-8") as fh:
+            current = json.load(fh)
+        problems = compare(baseline, current)
+        for p in problems:
+            print(f"REGRESSION: {p}", file=sys.stderr)
+        if not problems:
+            print(f"bench gate passed: {len(current['runs'])} runs within "
+                  f"{MODELED_TOLERANCE:.0%} of {argv[1]}")
+        return 1 if problems else 0
+    print(__doc__, file=sys.stderr)
+    return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -25,12 +25,14 @@ from repro.core.resilient import (
     resilient_spgemm,
 )
 from repro.core.spgemm import HashSpGEMM, hash_spgemm
+from repro.engine import BatchJob, SpGEMMEngine, SpGEMMPlan
 from repro.errors import (
     AlgorithmError,
     DeviceConfigError,
     DeviceFreeError,
     DeviceMemoryError,
     HashTableError,
+    PlanMismatchError,
     ReproError,
     SchedulerError,
     ShapeMismatchError,
@@ -48,6 +50,7 @@ from repro.types import Precision
 __version__ = "1.0.0"
 
 __all__ = [
+    "BatchJob",
     "COOMatrix",
     "CSRMatrix",
     "DeviceSpec",
@@ -61,6 +64,8 @@ __all__ = [
     "ResilientSpGEMM",
     "SimReport",
     "SpGEMMAlgorithm",
+    "SpGEMMEngine",
+    "SpGEMMPlan",
     "SpGEMMResult",
     "VEGA56",
     "algorithms",
@@ -77,6 +82,7 @@ __all__ = [
     "DeviceFreeError",
     "DeviceMemoryError",
     "HashTableError",
+    "PlanMismatchError",
     "ReproError",
     "SchedulerError",
     "ShapeMismatchError",

@@ -7,15 +7,23 @@ example scripts and the integration tests.
 """
 
 from repro.apps.amg import TwoLevelAMG, aggregate_poisson, galerkin_product
-from repro.apps.graph import markov_cluster_step, squared_neighborhood, triangle_count
+from repro.apps.graph import (
+    MCLResult,
+    markov_cluster,
+    markov_cluster_step,
+    squared_neighborhood,
+    triangle_count,
+)
 from repro.apps.solver import amg_preconditioned_cg, conjugate_gradient
 
 __all__ = [
+    "MCLResult",
     "TwoLevelAMG",
     "aggregate_poisson",
     "amg_preconditioned_cg",
     "conjugate_gradient",
     "galerkin_product",
+    "markov_cluster",
     "markov_cluster_step",
     "squared_neighborhood",
     "triangle_count",

@@ -40,20 +40,25 @@ def aggregate_poisson(n_grid: int, block: int = 2) -> CSRMatrix:
 
 def galerkin_product(A: CSRMatrix, P: CSRMatrix, *,
                      algorithm: str = "proposal",
-                     precision: Precision | str = Precision.DOUBLE):
+                     precision: Precision | str = Precision.DOUBLE,
+                     engine=None):
     """Coarse operator ``A_c = P^T (A P)`` via two SpGEMM calls.
 
     Returns ``(A_c, [report_AP, report_RAP])`` -- the simulated reports let
     callers attribute AMG setup cost to the SpGEMM kernel, as the paper's
-    motivation does.
+    motivation does.  Pass an :class:`~repro.engine.SpGEMMEngine` as
+    ``engine`` to plan-cache the two products; re-setups on the same
+    pattern (lagged-coefficient or time-stepping loops) then replay
+    numeric-only.
     """
-    from repro import spgemm
+    from repro.apps._dispatch import multiply, resolve_engine
 
-    ap = spgemm(A, P, algorithm=algorithm, precision=precision,
-                matrix_name="A*P")
+    engine = resolve_engine(engine, algorithm)
+    ap = multiply(A, P, engine=engine, algorithm=algorithm,
+                  precision=precision, matrix_name="A*P")
     r = P.transpose()
-    rap = spgemm(r, ap.matrix, algorithm=algorithm, precision=precision,
-                 matrix_name="R*(AP)")
+    rap = multiply(r, ap.matrix, engine=engine, algorithm=algorithm,
+                   precision=precision, matrix_name="R*(AP)")
     return rap.matrix, [ap.report, rap.report]
 
 
@@ -68,19 +73,23 @@ class TwoLevelAMG:
         Prolongation; the coarse operator is built with ``algorithm``.
     omega:
         Damping of the Jacobi smoother.
+    engine:
+        Optional :class:`~repro.engine.SpGEMMEngine` (or ``True``) to
+        plan-cache the Galerkin products across hierarchy rebuilds.
     """
 
     def __init__(self, A: CSRMatrix, P: CSRMatrix, *,
                  algorithm: str = "proposal", omega: float = 0.8,
-                 pre_smooth: int = 1, post_smooth: int = 1) -> None:
+                 pre_smooth: int = 1, post_smooth: int = 1,
+                 engine=None) -> None:
         self.A = A
         self.P = P
         self.R = P.transpose()
         self.omega = omega
         self.pre_smooth = pre_smooth
         self.post_smooth = post_smooth
-        self.Ac, self.setup_reports = galerkin_product(A, P,
-                                                       algorithm=algorithm)
+        self.Ac, self.setup_reports = galerkin_product(
+            A, P, algorithm=algorithm, engine=engine)
         self._coarse_dense = self.Ac.to_dense().astype(np.float64)
         self._diag = self._extract_diag(A)
 

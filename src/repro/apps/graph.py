@@ -7,6 +7,8 @@ implementations of that family on the public API.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 import numpy as np
 
 from repro.errors import ShapeMismatchError
@@ -39,17 +41,19 @@ def symmetrize(A: CSRMatrix) -> CSRMatrix:
     return m
 
 
-def triangle_count(A: CSRMatrix, *, algorithm: str = "proposal") -> int:
+def triangle_count(A: CSRMatrix, *, algorithm: str = "proposal",
+                   engine=None) -> int:
     """Number of triangles in the undirected graph of ``A``.
 
     Uses the classic ``trace(A^3) / 6`` identity computed as
     ``sum_{ij} (A^2)_{ij} * A_{ij} / 6`` -- one SpGEMM plus a masked
     elementwise product, all in sparse arithmetic.
     """
-    from repro import spgemm
+    from repro.apps._dispatch import multiply, resolve_engine
 
     G = symmetrize(A)
-    A2 = spgemm(G, G, algorithm=algorithm, matrix_name="A^2").matrix
+    A2 = multiply(G, G, engine=resolve_engine(engine, algorithm),
+                  algorithm=algorithm, matrix_name="A^2").matrix
     total = 0.0
     for i in range(G.n_rows):
         c2, v2 = A2.row_slice(i)
@@ -59,28 +63,31 @@ def triangle_count(A: CSRMatrix, *, algorithm: str = "proposal") -> int:
     return int(round(total / 6.0))
 
 
-def squared_neighborhood(A: CSRMatrix, *,
-                         algorithm: str = "proposal") -> CSRMatrix:
+def squared_neighborhood(A: CSRMatrix, *, algorithm: str = "proposal",
+                         engine=None) -> CSRMatrix:
     """The 2-hop reachability pattern ``A^2`` (BFS level expansion)."""
-    from repro import spgemm
+    from repro.apps._dispatch import multiply, resolve_engine
 
     _require_square(A, "squared_neighborhood")
-    return spgemm(A, A, algorithm=algorithm, matrix_name="2hop").matrix
+    return multiply(A, A, engine=resolve_engine(engine, algorithm),
+                    algorithm=algorithm, matrix_name="2hop").matrix
 
 
 def markov_cluster_step(M: CSRMatrix, *, inflation: float = 2.0,
                         prune: float = 1e-4,
-                        algorithm: str = "proposal") -> CSRMatrix:
+                        algorithm: str = "proposal",
+                        engine=None) -> CSRMatrix:
     """One expansion + inflation step of Markov Clustering (van Dongen).
 
     Expansion is the SpGEMM ``M @ M``; inflation raises entries to the
     ``inflation`` power and renormalizes columns; entries below ``prune``
     are dropped (keeping the iteration sparse, as MCL implementations do).
     """
-    from repro import spgemm
+    from repro.apps._dispatch import multiply, resolve_engine
 
     _require_square(M, "markov_cluster_step")
-    expanded = spgemm(M, M, algorithm=algorithm, matrix_name="mcl_expand").matrix
+    expanded = multiply(M, M, engine=resolve_engine(engine, algorithm),
+                        algorithm=algorithm, matrix_name="mcl_expand").matrix
     val = np.power(expanded.val.astype(np.float64), inflation)
     # column sums for normalization
     sums = np.zeros(expanded.n_cols)
@@ -101,6 +108,55 @@ def markov_cluster_step(M: CSRMatrix, *, inflation: float = 2.0,
     nz = sums[out.col] > 0
     out.val[nz] = out.val[nz] / sums[out.col][nz]
     return out
+
+
+@dataclass
+class MCLResult:
+    """Outcome of a full :func:`markov_cluster` run."""
+
+    matrix: CSRMatrix        #: the converged (or last) stochastic iterate
+    iterations: int          #: expansion steps taken
+    converged: bool          #: iterate stopped changing within ``tol``
+    engine: object | None    #: the SpGEMMEngine used (None when disabled)
+
+    def cache_hit_rate(self) -> float:
+        """Plan-cache hit rate over the run (0.0 without an engine)."""
+        return self.engine.stats().hit_rate if self.engine else 0.0
+
+
+def markov_cluster(A: CSRMatrix, *, inflation: float = 2.0,
+                   prune: float = 1e-4, tol: float = 1e-8,
+                   max_iters: int = 30, algorithm: str = "proposal",
+                   engine=True) -> MCLResult:
+    """Markov Clustering to convergence: the paper's iterative workload.
+
+    Runs :func:`markov_cluster_step` from :func:`column_stochastic` until
+    the iterate stops changing (pattern equal and values within ``tol``)
+    or ``max_iters`` is hit.  ``engine=True`` (the default -- this is an
+    iterative loop) routes every expansion through one
+    :class:`~repro.engine.SpGEMMEngine`, so once the iterate's sparsity
+    pattern stabilizes the symbolic phase is paid only once and later
+    expansions replay numeric-only; pass ``engine=False`` for the cold
+    per-call behaviour, or an engine instance to share a cache.
+    """
+    from repro.apps._dispatch import resolve_engine
+
+    _require_square(A, "markov_cluster")
+    eng = resolve_engine(engine, algorithm)
+    M = column_stochastic(A)
+    iterations, converged = 0, False
+    for iterations in range(1, max_iters + 1):
+        nxt = markov_cluster_step(M, inflation=inflation, prune=prune,
+                                  algorithm=algorithm, engine=eng)
+        if (nxt.nnz == M.nnz and np.array_equal(nxt.rpt, M.rpt)
+                and np.array_equal(nxt.col, M.col)
+                and np.allclose(nxt.val, M.val, rtol=0.0, atol=tol)):
+            M = nxt
+            converged = True
+            break
+        M = nxt
+    return MCLResult(matrix=M, iterations=iterations, converged=converged,
+                     engine=eng)
 
 
 def column_stochastic(A: CSRMatrix) -> CSRMatrix:

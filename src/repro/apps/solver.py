@@ -74,14 +74,18 @@ def conjugate_gradient(A: CSRMatrix, b: np.ndarray, *,
 
 def amg_preconditioned_cg(A: CSRMatrix, P: CSRMatrix, b: np.ndarray, *,
                           algorithm: str = "proposal", tol: float = 1e-8,
-                          max_iters: int = 2000) -> tuple[np.ndarray, SolveStats]:
+                          max_iters: int = 2000,
+                          engine=None) -> tuple[np.ndarray, SolveStats]:
     """CG preconditioned by one two-level AMG V-cycle per iteration.
 
     The AMG hierarchy is set up with the chosen SpGEMM ``algorithm``; the
     returned stats carry the *simulated* setup time so callers can compare
     SpGEMM implementations end to end (the paper's motivating trade-off).
+    ``engine`` is forwarded to the AMG setup; solvers re-setting up on a
+    fixed pattern (time stepping, lagged coefficients) amortize the
+    symbolic phase that way.
     """
-    amg = TwoLevelAMG(A, P, algorithm=algorithm)
+    amg = TwoLevelAMG(A, P, algorithm=algorithm, engine=engine)
     setup = sum(r.total_seconds for r in amg.setup_reports)
 
     def precondition(r: np.ndarray) -> np.ndarray:

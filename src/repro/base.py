@@ -14,7 +14,7 @@ import abc
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
-from repro.errors import ReproError, ShapeMismatchError
+from repro.errors import AlgorithmError, ReproError, ShapeMismatchError
 from repro.gpu.device import P100, DeviceSpec
 from repro.gpu.faults import FaultPlan
 from repro.gpu.kernel import KernelLaunch
@@ -58,12 +58,17 @@ class RunContext:
 
     def __init__(self, algorithm: str, matrix_name: str, device: DeviceSpec,
                  precision: Precision, *, charge_time: bool = True,
-                 faults: FaultPlan | None = None) -> None:
+                 faults: FaultPlan | None = None,
+                 numeric_only: bool = False) -> None:
         self.algorithm = algorithm
         self.matrix_name = matrix_name
         self.device = device
         self.precision = precision
         self.faults = faults
+        #: True for a plan-cache replay: the context then refuses any
+        #: symbolic work ('setup'/'count' kernels), turning "a cache hit
+        #: skips the symbolic phase" from a convention into an invariant.
+        self.numeric_only = numeric_only
         self.events = EventBus()
         self.memory = DeviceMemory(device, charge_time=charge_time,
                                    faults=faults,
@@ -147,6 +152,10 @@ class RunContext:
             use_streams: bool = True) -> float:
         """Simulate ``kernels`` (concurrently, stream-aware) and advance the
         clock; the sub-phase's wall time is charged to ``phase``."""
+        if self.numeric_only and phase in ("setup", "count"):
+            raise AlgorithmError(
+                f"numeric-only replay attempted {phase!r}-phase kernels "
+                f"({', '.join(k.name for k in kernels)})")
         if not kernels:
             return 0.0
         sched = simulate_phase(kernels, self.device, self.precision,
@@ -208,6 +217,7 @@ class RunContext:
             # report returned from inside the with block
             events=self.events.events,
             complete=complete,
+            numeric_only=self.numeric_only,
         )
 
     # -- context manager: exception-safe teardown ---------------------------
@@ -252,6 +262,12 @@ class SpGEMMAlgorithm(abc.ABC):
     #: short identifier used in benchmark tables ('proposal', 'cusp', ...)
     name: str = "abstract"
 
+    #: True when the algorithm can capture an :class:`repro.engine.plan.
+    #: SpGEMMPlan` on a cold run and replay it numeric-only (the plan
+    #: cache of :class:`repro.engine.SpGEMMEngine` only fronts such
+    #: algorithms; everything else passes through uncached).
+    supports_plan_cache: bool = False
+
     @abc.abstractmethod
     def multiply(self, A: CSRMatrix, B: CSRMatrix, *,
                  precision: Precision | str = Precision.DOUBLE,
@@ -285,7 +301,9 @@ class SpGEMMAlgorithm(abc.ABC):
 
     def context(self, matrix_name: str, device: DeviceSpec,
                 precision: Precision,
-                faults: FaultPlan | None = None) -> RunContext:
+                faults: FaultPlan | None = None, *,
+                numeric_only: bool = False) -> RunContext:
         """Fresh accounting context for one run."""
         return RunContext(self.name, matrix_name or "matrix", device,
-                          precision, faults=faults)
+                          precision, faults=faults,
+                          numeric_only=numeric_only)

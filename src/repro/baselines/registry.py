@@ -8,17 +8,20 @@ from repro.baselines.cusparse_like import CuSparseSpGEMM
 from repro.baselines.esc import ESCSpGEMM
 from repro.core.resilient import ResilientSpGEMM
 from repro.core.spgemm import HashSpGEMM
+from repro.engine.engine import SpGEMMEngine
 from repro.errors import AlgorithmError
 
 #: All available algorithms, keyed by their benchmark-table names.
-#: 'resilient' is the degradation-ladder wrapper, not a paper algorithm;
-#: benchmark sweeps over "the four algorithms" should use DISPLAY_ORDER.
+#: 'resilient' (the degradation-ladder wrapper) and 'engine' (the
+#: plan-cached front) are infrastructure, not paper algorithms; benchmark
+#: sweeps over "the four algorithms" should use DISPLAY_ORDER.
 ALGORITHMS: dict[str, type[SpGEMMAlgorithm]] = {
     "proposal": HashSpGEMM,
     "cusparse": CuSparseSpGEMM,
     "cusp": ESCSpGEMM,
     "bhsparse": BHSparseSpGEMM,
     "resilient": ResilientSpGEMM,
+    "engine": SpGEMMEngine,
 }
 
 #: Display order used by the benchmark tables (matches the paper's figures).
@@ -29,7 +32,9 @@ def create(name: str, **options) -> SpGEMMAlgorithm:
     """Instantiate an algorithm by registry name.
 
     Raises :class:`AlgorithmError` for unknown names; keyword options are
-    forwarded to the algorithm constructor (only the proposal takes any).
+    forwarded to the algorithm constructor (the proposal's ablation
+    switches, the resilient wrapper's budget/chain, the engine's cache
+    configuration).
     """
     try:
         cls = ALGORITHMS[name]

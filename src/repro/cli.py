@@ -68,6 +68,14 @@ def _build_parser() -> argparse.ArgumentParser:
                         "the proposal)")
     p.add_argument("--precision", choices=("single", "double"),
                    default="double")
+    p.add_argument("--engine", action=argparse.BooleanOptionalAction,
+                   default=None,
+                   help="route the multiply through the plan-cached "
+                        "engine (default: on when --repeat > 1); "
+                        "--no-engine forces cold runs")
+    p.add_argument("--repeat", type=int, default=1, metavar="N",
+                   help="run the same multiply N times (with the engine, "
+                        "runs after the first replay numeric-only)")
     p.add_argument("--timeline", action="store_true",
                    help="print the kernel Gantt chart")
     p.add_argument("--metrics", action="store_true",
@@ -104,6 +112,11 @@ def _build_parser() -> argparse.ArgumentParser:
     p.add_argument("--breakdown", action="store_true",
                    help="also print the Figure 5 phase breakdown derived "
                         "from the metrics registry")
+    p.add_argument("--engine", action="store_true",
+                   help="run every cell through a plan-cached engine "
+                        "(pair with --repeat for steady-state numbers)")
+    p.add_argument("--repeat", type=int, default=1, metavar="N",
+                   help="run each cell N times, report the last run")
 
     sub.add_parser("datasets", help="list benchmark datasets")
 
@@ -203,11 +216,31 @@ def cmd_multiply(args) -> int:
         if args.memory_budget is not None:
             options["memory_budget"] = int(args.memory_budget * (1 << 20))
 
+    repeat = max(1, args.repeat)
+    engine_on = args.engine if args.engine is not None else repeat > 1
+    eng = None
+    if engine_on:
+        from repro.engine import SpGEMMEngine
+
+        eng = SpGEMMEngine(algorithm, **options)
     try:
-        result = repro.spgemm(A, A, algorithm=algorithm,
-                              precision=args.precision,
-                              device=_device(args.device), matrix_name=name,
-                              faults=_fault_plan(args), **options)
+        for i in range(repeat):
+            if eng is not None:
+                result = eng.multiply(A, A, precision=args.precision,
+                                      device=_device(args.device),
+                                      matrix_name=name,
+                                      faults=_fault_plan(args))
+            else:
+                result = repro.spgemm(A, A, algorithm=algorithm,
+                                      precision=args.precision,
+                                      device=_device(args.device),
+                                      matrix_name=name,
+                                      faults=_fault_plan(args), **options)
+            if repeat > 1:
+                rr = result.report
+                tag = "replay" if rr.numeric_only else "cold"
+                print(f"  run {i + 1}/{repeat}: "
+                      f"{rr.total_seconds * 1e6:10.1f} us  ({tag})")
     except repro.ReproError as e:
         print(f"run failed: {e}", file=sys.stderr)
         return 1
@@ -221,6 +254,8 @@ def cmd_multiply(args) -> int:
               f"  ({100 * r.phase_fraction(phase):5.1f}%)")
     if result.resilience is not None:
         print("\n" + result.resilience.summary())
+    if eng is not None:
+        print("\n" + eng.stats_summary())
     if args.timeline:
         print("\nkernel timeline:")
         print(render_timeline(r.kernels))
@@ -262,7 +297,11 @@ def cmd_suite(args) -> int:
 
     names = list(LARGE_GRAPHS if args.large else DATASETS)
     runs = run_suite(names, algorithms=DISPLAY_ORDER,
-                     precisions=(args.precision,))
+                     precisions=(args.precision,),
+                     repeat=max(1, args.repeat), engine=args.engine)
+    if args.engine:
+        print(f"(plan-cached engine, last of {max(1, args.repeat)} "
+              f"run(s) per cell)\n")
     print(gflops_table(runs))
     print()
     for base, (mx, gm) in speedup_stats(runs).items():

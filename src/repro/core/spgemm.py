@@ -40,6 +40,7 @@ class HashSpGEMM(SpGEMMAlgorithm):
     """The paper's SpGEMM (released by the authors as *nsparse*)."""
 
     name = "proposal"
+    supports_plan_cache = True
 
     def __init__(self, *, use_streams: bool = True, use_pwarp: bool = True,
                  pwarp_width: int = PWARP_WIDTH,
@@ -48,6 +49,14 @@ class HashSpGEMM(SpGEMMAlgorithm):
         self.use_pwarp = use_pwarp
         self.pwarp_width = pwarp_width
         self.uniform_tb = uniform_tb
+
+    def plan_switches(self) -> tuple:
+        """Configuration tuple folded into the plan-cache key: any switch
+        that changes grouping or kernels must appear here."""
+        return (("use_streams", self.use_streams),
+                ("use_pwarp", self.use_pwarp),
+                ("pwarp_width", self.pwarp_width),
+                ("uniform_tb", self.uniform_tb))
 
     def _group(self, counts: np.ndarray, table, metric: str) -> GroupAssignment:
         """Group rows, optionally disabling PWARP/ROW (ablation E9): the
@@ -68,13 +77,80 @@ class HashSpGEMM(SpGEMMAlgorithm):
                  precision: Precision | str = Precision.DOUBLE,
                  device: DeviceSpec = P100,
                  matrix_name: str = "",
-                 faults: FaultPlan | None = None) -> SpGEMMResult:
+                 faults: FaultPlan | None = None,
+                 capture=None) -> SpGEMMResult:
+        """Full two-phase multiply.
+
+        ``capture`` (a :class:`repro.engine.plan.PlanCapture`) collects the
+        run's symbolic outcome for the engine's plan cache; ``None`` (the
+        default) captures nothing.
+        """
         A, B, p = self._prepare(A, B, precision)
         with self.context(matrix_name, device, p, faults) as ctx:
-            return self._multiply(ctx, A, B, p, device)
+            return self._multiply(ctx, A, B, p, device, capture=capture)
+
+    def multiply_planned(self, A: CSRMatrix, B: CSRMatrix, plan, *,
+                         precision: Precision | str = Precision.DOUBLE,
+                         device: DeviceSpec = P100,
+                         matrix_name: str = "",
+                         faults: FaultPlan | None = None) -> SpGEMMResult:
+        """Numeric-only replay of a cached :class:`repro.engine.plan.
+        SpGEMMPlan` (the engine's cache-hit path).
+
+        The run context is opened ``numeric_only``, so any symbolic work
+        would raise; the entire setup/count component -- product counting,
+        both grouping passes, the counting kernels, the row-pointer scan
+        and the count-phase host sync -- is skipped, and the output
+        ``cudaMalloc`` shrinks to the fresh value array (the cached CSR
+        structure is already device-resident in the plan).
+        """
+        A, B, p = self._prepare(A, B, precision)
+        plan.validate(A, B)
+        with self.context(matrix_name, device, p, faults,
+                          numeric_only=True) as ctx:
+            return self._multiply_numeric(ctx, A, B, p, device, plan)
+
+    def _multiply_numeric(self, ctx, A: CSRMatrix, B: CSRMatrix,
+                          p: Precision, device: DeviceSpec,
+                          plan) -> SpGEMMResult:
+        ctx.emit(OBS.CACHE_HIT, plan.key.label(), algorithm=self.name,
+                 saved_seconds=plan.symbolic_seconds,
+                 plan_bytes=plan.device_bytes())
+
+        a_buf = ctx.alloc_resident("A", A.device_bytes(p))
+        b_buf = ctx.alloc_resident("B", B.device_bytes(p)) if B is not A else None
+        plan_buf = ctx.alloc_resident("plan_cache", plan.device_bytes())
+
+        # fresh values on the cached structure (raises PlanMismatchError
+        # if the pattern behind the digest changed under us)
+        C = plan.numeric_values(A, B, p)
+        ctx.note_stats(n_products=plan.n_products, nnz_out=plan.nnz_out)
+
+        for g in plan.num_group_stats():
+            ctx.emit(OBS.GROUPING, "numeric", **g)
+
+        # the output malloc is values-only: rpt/col live in the plan
+        c_val = ctx.alloc("C_values",
+                          int(plan.nnz_out) * p.value_dtype.itemsize,
+                          phase="malloc")
+
+        num_plan = plan.numeric_plan(A, p, device)
+        for s in num_plan.table_stats:
+            ctx.emit(OBS.HASH_STATS, "numeric", **s)
+        g0_tables = None
+        if num_plan.global_table_bytes:
+            g0_tables = ctx.alloc("g0_numeric_tables",
+                                  num_plan.global_table_bytes, phase="calc")
+        ctx.run("calc", num_plan.kernels, use_streams=self.use_streams)
+        if g0_tables is not None:
+            ctx.free(g0_tables)
+        _ = (a_buf, b_buf, plan_buf, c_val)  # stay live: peak accounting
+
+        report = ctx.report(n_products=plan.n_products, nnz_out=plan.nnz_out)
+        return SpGEMMResult(matrix=C, report=report)
 
     def _multiply(self, ctx, A: CSRMatrix, B: CSRMatrix, p: Precision,
-                  device: DeviceSpec) -> SpGEMMResult:
+                  device: DeviceSpec, capture=None) -> SpGEMMResult:
         n_rows = A.n_rows
 
         # input matrices are resident before the measured region
@@ -150,6 +226,25 @@ class HashSpGEMM(SpGEMMAlgorithm):
         for buf in (d_num_groups, d_sym_groups, d_nnz, d_products):
             ctx.free(buf)
         _ = (a_buf, b_buf, c_buf)  # stay live: peak accounting
+
+        if capture is not None:
+            from repro.engine.plan import SpGEMMPlan
+
+            capture.plan = SpGEMMPlan(
+                key=capture.key,
+                shape=C.shape,
+                n_products=n_products,
+                nnz_out=C.nnz,
+                row_products=row_products,
+                row_nnz=row_nnz,
+                sym_groups=sym_groups,
+                num_groups=num_groups,
+                c_rpt=C.rpt,
+                c_col=C.col,
+                symbolic_seconds=(ctx.phase_seconds.get("setup", 0.0)
+                                  + ctx.phase_seconds.get("count", 0.0)),
+                sym_global_table_bytes=sym_plan.global_table_bytes,
+            )
 
         report = ctx.report(n_products=n_products, nnz_out=C.nnz)
         return SpGEMMResult(matrix=C, report=report)

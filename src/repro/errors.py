@@ -77,3 +77,11 @@ class HashTableError(ReproError):
 
 class AlgorithmError(ReproError):
     """An SpGEMM algorithm was mis-configured or hit an internal invariant."""
+
+
+class PlanMismatchError(AlgorithmError):
+    """A cached :class:`repro.engine.plan.SpGEMMPlan` no longer matches its
+    operands: the sparsity pattern behind the cache key changed (in-place
+    mutation of ``rpt``/``col``) or the plan was built under different
+    switches.  The engine treats this as a miss and falls back to a cold
+    run; it only propagates when replay is invoked directly."""

@@ -82,6 +82,9 @@ class SimReport:
     #: False for the partial report of a run aborted by an error (attached
     #: to the raised ReproError by the run context's exception path).
     complete: bool = True
+    #: True for a plan-cache replay (numeric phase only; the symbolic
+    #: outcome came from a cached :class:`repro.engine.plan.SpGEMMPlan`).
+    numeric_only: bool = False
 
     @property
     def flops(self) -> int:

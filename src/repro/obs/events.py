@@ -43,6 +43,14 @@ Event kinds
     ``name`` is the strategy (``plain`` | ``retry`` | ``panels``); attrs:
     ``algorithm``, ``panels``, ``budget_bytes``, ``ok``, ``error``,
     ``injected``.
+``cache_hit`` / ``cache_miss`` / ``cache_evict``
+    Plan-cache traffic of :class:`~repro.engine.SpGEMMEngine`; ``name`` is
+    the plan's pattern digest.  A ``cache_hit`` opens a numeric-only
+    replay (attrs: ``algorithm``, ``saved_seconds`` -- the symbolic+setup
+    component the plan amortizes away -- and ``plan_bytes``); a
+    ``cache_miss`` marks a cold run whose symbolic outcome was captured;
+    a ``cache_evict`` records an LRU eviction under the cache's
+    device-memory budget (attrs: ``plan_bytes``, ``reason``).
 """
 
 from __future__ import annotations
@@ -60,10 +68,14 @@ HASH_STATS = "hash_stats"
 FAULT = "fault_injected"
 RUN_ABORT = "run_abort"
 RESILIENCE = "resilience"
+CACHE_HIT = "cache_hit"
+CACHE_MISS = "cache_miss"
+CACHE_EVICT = "cache_evict"
 
 #: All kinds the pipeline emits (exporters treat unknown kinds as opaque).
 EVENT_KINDS = (KERNEL_LAUNCH, KERNEL_RETIRE, CHARGE, ALLOC, FREE, GROUPING,
-               HASH_STATS, FAULT, RUN_ABORT, RESILIENCE)
+               HASH_STATS, FAULT, RUN_ABORT, RESILIENCE, CACHE_HIT,
+               CACHE_MISS, CACHE_EVICT)
 
 #: ``source`` values a ``charge`` event may carry.
 CHARGE_SOURCES = ("kernels", "sync", "malloc", "free")

@@ -30,8 +30,13 @@ if TYPE_CHECKING:   # pragma: no cover - typing only
 #: Chrome tid of the phase-charge track (streams are tid = stream + 1).
 PHASE_TRACK = 0
 
+#: Chrome tid of the plan-cache track (above any plausible stream count).
+ENGINE_TRACK = 1000
+
 _INSTANT_KINDS = (E.GROUPING, E.HASH_STATS, E.FAULT, E.RUN_ABORT,
                   E.RESILIENCE)
+
+_CACHE_KINDS = (E.CACHE_HIT, E.CACHE_MISS, E.CACHE_EVICT)
 
 
 def _us(seconds: float) -> float:
@@ -52,6 +57,9 @@ def chrome_trace(report: "SimReport") -> dict[str, Any]:
         evs.append({"ph": "M", "pid": pid, "tid": stream + 1,
                     "name": "thread_name",
                     "args": {"name": f"stream {stream}"}})
+    if any(e.kind in _CACHE_KINDS for e in report.events):
+        evs.append({"ph": "M", "pid": pid, "tid": ENGINE_TRACK,
+                    "name": "thread_name", "args": {"name": "engine"}})
 
     for rec in report.kernels:
         evs.append({"ph": "X", "cat": "kernel", "name": rec.name,
@@ -75,6 +83,10 @@ def chrome_trace(report: "SimReport") -> dict[str, Any]:
         elif e.kind in _INSTANT_KINDS:
             evs.append({"ph": "i", "cat": e.kind, "name": e.name,
                         "pid": pid, "tid": PHASE_TRACK, "ts": _us(e.ts),
+                        "s": "p", "args": dict(e.attrs)})
+        elif e.kind in _CACHE_KINDS:
+            evs.append({"ph": "i", "cat": e.kind, "name": e.name,
+                        "pid": pid, "tid": ENGINE_TRACK, "ts": _us(e.ts),
                         "s": "p", "args": dict(e.attrs)})
 
     return {"traceEvents": evs, "displayTimeUnit": "ns",
@@ -182,6 +194,13 @@ def trace_summary(report: "SimReport") -> str:
         if e.kind in (E.ALLOC, E.FREE):
             lines.append(f"{e.kind} {e.name} nbytes={e.attrs.get('nbytes')} "
                          f"in_use={e.attrs.get('in_use')}")
+
+    cache = [e for e in report.events if e.kind in _CACHE_KINDS]
+    if cache:
+        lines += ["", "[plan_cache]"]
+        for e in cache:
+            attrs = " ".join(f"{k}={e.attrs[k]}" for k in sorted(e.attrs))
+            lines.append(f"{e.kind} {e.name} {attrs}".rstrip())
 
     extra = [e for e in report.events
              if e.kind in (E.FAULT, E.RUN_ABORT, E.RESILIENCE)]

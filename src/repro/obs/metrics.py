@@ -192,6 +192,10 @@ def metrics_from_report(report: "SimReport") -> MetricsRegistry:
     run.set(report.n_products, stat="n_products")
     run.set(report.nnz_out, stat="nnz_out")
     run.set(1.0 if report.complete else 0.0, stat="complete")
+    if report.numeric_only:
+        # only present on plan-cache replays, so pre-engine golden
+        # expositions stay byte-identical
+        run.set(1.0, stat="numeric_only")
     reg.gauge("total_seconds", "simulated wall time").set(report.total_seconds)
     reg.gauge("peak_bytes", "device-memory high-water mark").set(report.peak_bytes)
     reg.gauge("malloc_count", "timed cudaMalloc calls").set(report.malloc_count)
@@ -250,6 +254,15 @@ def metrics_from_report(report: "SimReport") -> MetricsRegistry:
                         "ladder attempts by outcome").inc(
                 1, algorithm=e.attrs.get("algorithm", ""),
                 strategy=e.name, ok=e.attrs.get("ok", ""))
+        elif e.kind in (E.CACHE_HIT, E.CACHE_MISS, E.CACHE_EVICT):
+            reg.counter("plan_cache_events_total",
+                        "plan-cache traffic seen by this run").inc(
+                1, event=e.kind.removeprefix("cache_"))
+            if e.kind == E.CACHE_HIT:
+                reg.counter(
+                    "plan_cache_saved_seconds_total",
+                    "symbolic+setup time amortized by the hit").inc(
+                    e.attrs.get("saved_seconds", 0.0))
     return reg
 
 

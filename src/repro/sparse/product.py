@@ -16,6 +16,7 @@ nondeterministic ordering, so tests compare values with tolerance anyway
 
 from __future__ import annotations
 
+import hashlib
 from typing import NamedTuple
 
 import numpy as np
@@ -50,11 +51,28 @@ class ProductResult(NamedTuple):
         return self.C.row_nnz()
 
 
-def _key(A: CSRMatrix, B: CSRMatrix) -> tuple[int, ...]:
-    """Cache key on the *structure* arrays, which precision casts share
-    (``astype`` copies values but keeps rpt/col), so one functional product
-    serves both precisions of a benchmark matrix."""
-    return (id(A.rpt), id(A.col), id(B.rpt), id(B.col))
+def _val_tag(val: np.ndarray) -> bytes:
+    """Content fingerprint of a value array (dtype + bytes).
+
+    Identity alone is not enough: iterative workloads update values in
+    place or rebuild the value array on a shared structure (same
+    rpt/col objects), and an ``id()``-only key would replay the previous
+    iterate's product.  Hashing is O(nnz) -- noise next to the O(products)
+    expansion it guards."""
+    h = hashlib.blake2b(digest_size=8)
+    h.update(str(val.dtype).encode())
+    h.update(np.ascontiguousarray(val).tobytes())
+    return h.digest()
+
+
+def _key(A: CSRMatrix, B: CSRMatrix) -> tuple:
+    """Cache key: structure arrays by identity, values by content.
+
+    Repeated runs of the same matrix object (the benchmark suite's
+    pattern) hit; value-only updates on a shared structure miss and
+    recompute, keeping the functional layer exact."""
+    return (id(A.rpt), id(A.col), _val_tag(A.val),
+            id(B.rpt), id(B.col), _val_tag(B.val))
 
 
 def compute_product(A: CSRMatrix, B: CSRMatrix) -> ProductResult:

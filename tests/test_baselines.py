@@ -135,9 +135,9 @@ class TestBHSparseStructure:
 class TestRegistry:
     def test_all_registered(self):
         assert set(ALGORITHMS) == {"proposal", "cusp", "cusparse", "bhsparse",
-                                   "resilient"}
+                                   "resilient", "engine"}
         # the display order stays the paper's four-way comparison
-        assert set(DISPLAY_ORDER) == set(ALGORITHMS) - {"resilient"}
+        assert set(DISPLAY_ORDER) == set(ALGORITHMS) - {"resilient", "engine"}
 
     def test_create_unknown(self):
         with pytest.raises(AlgorithmError, match="unknown algorithm"):

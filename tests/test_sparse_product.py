@@ -3,6 +3,7 @@
 import numpy as np
 
 from repro.sparse import generators
+from repro.sparse.csr import CSRMatrix
 from repro.sparse.product import (clear_cache, compute_product, product_for,
                                   _cache)
 from repro.sparse.stats import compute_stats
@@ -19,13 +20,26 @@ class TestProductCache:
         second = compute_product(A, A)
         assert first is second
 
-    def test_precision_cast_shares_cache(self, rng):
+    def test_precision_cast_gets_own_entry(self, rng):
         A = generators.banded(60, 5, rng=rng)
         compute_product(A, A)
         n_before = len(_cache)
-        As = A.astype("single")            # shares rpt/col arrays
+        As = A.astype("single")            # shares rpt/col, casts values
         compute_product(As, As)
-        assert len(_cache) == n_before     # no new entry
+        # value content is part of the key: the cast is its own entry,
+        # computed from the cast values (exact per precision)
+        assert len(_cache) == n_before + 1
+
+    def test_value_update_on_shared_structure_recomputes(self, rng):
+        """An iterate with new values on the same rpt/col arrays must not
+        replay the previous iterate's product (the engine's replay path
+        depends on the functional layer staying exact)."""
+        A = generators.banded(60, 5, rng=rng)
+        first = compute_product(A, A)
+        A2 = CSRMatrix(A.rpt, A.col, A.val * 2.0, A.shape, check=False)
+        second = compute_product(A2, A2)
+        assert second is not first
+        np.testing.assert_allclose(second.C.val, 4.0 * first.C.val)
 
     def test_distinct_matrices_do_not_collide(self, rng):
         A = generators.banded(60, 5, rng=rng)
