@@ -3,7 +3,9 @@
 The pinned subset is two generated dataset analogues -- Protein (a
 high-throughput FEM pattern) and Circuit (a low-throughput one) -- run
 single-precision over the paper's four algorithms (the Figure 2 slice),
-plus the E15-style per-phase breakdown for cuSPARSE and the proposal.
+plus the E15-style per-phase breakdown for cuSPARSE and the proposal,
+plus the E17 distributed slice (steady-state 4-device NVLink totals with
+the interconnect wall broken out as phase ``comm``).
 All compared quantities are *modeled* device numbers, so they are exactly
 reproducible across runners; wall-clock is recorded for context and only
 fenced loosely (runner variance).
@@ -34,19 +36,22 @@ WALL_TOLERANCE = 3.0
 #: The pinned subset: one high- and one low-throughput analogue.
 DATASETS = ("Protein", "Circuit")
 PRECISION = "single"
-SCHEMA = 1
+SCHEMA = 2
+
+#: The distributed slice (E17): steady-state pool sizes to pin per dataset.
+DIST_DEVICES = 4
+DIST_INTERCONNECT = "nvlink"
 
 
 def collect() -> dict:
     """Run the pinned subset and snapshot every modeled figure."""
     from repro.baselines.registry import DISPLAY_ORDER
-    from repro.bench.runner import run_suite
+    from repro.bench.runner import run_dist_scaling, run_suite
     from repro.gpu.timeline import PHASES
 
     t0 = time.perf_counter()
     runs = run_suite(list(DATASETS), algorithms=DISPLAY_ORDER,
                      precisions=(PRECISION,))
-    wall = time.perf_counter() - t0
 
     out = []
     for r in runs:
@@ -63,6 +68,20 @@ def collect() -> dict:
             rec["phase_seconds"] = {
                 p: m.value("phase_seconds", phase=p) for p in PHASES}
         out.append(rec)
+
+    # the E17 slice: steady-state distributed totals with comm broken out
+    dist_runs = run_dist_scaling(list(DATASETS), (DIST_DEVICES,),
+                                 interconnect=DIST_INTERCONNECT,
+                                 precision=PRECISION)
+    for d in dist_runs:
+        out.append({"dataset": d.dataset,
+                    "algorithm": f"dist{d.n_devices}-{d.interconnect}",
+                    "gflops": d.steady.gflops,
+                    "total_seconds": d.steady.total_seconds,
+                    "phase_seconds": {
+                        "comm": d.steady_comm_seconds},
+                    "cold_seconds": d.cold.total_seconds})
+    wall = time.perf_counter() - t0
     return {"schema": SCHEMA, "precision": PRECISION,
             "datasets": list(DATASETS), "wall_seconds": wall, "runs": out}
 
@@ -106,6 +125,13 @@ def compare(baseline: dict, current: dict) -> list[str]:
                 f"{where}: modeled total regressed "
                 f"{b['total_seconds'] * 1e6:.1f} -> "
                 f"{c['total_seconds'] * 1e6:.1f} us (>{MODELED_TOLERANCE:.0%})")
+        if ("cold_seconds" in b and "cold_seconds" in c
+                and c["cold_seconds"] > b["cold_seconds"]
+                * (1.0 + MODELED_TOLERANCE)):
+            problems.append(
+                f"{where}: modeled cold total regressed "
+                f"{b['cold_seconds'] * 1e6:.1f} -> "
+                f"{c['cold_seconds'] * 1e6:.1f} us (>{MODELED_TOLERANCE:.0%})")
         for p, b_sec in b.get("phase_seconds", {}).items():
             c_sec = c.get("phase_seconds", {}).get(p, 0.0)
             if c_sec > b_sec * (1.0 + MODELED_TOLERANCE) + 1e-9:

@@ -25,11 +25,13 @@ from repro.core.resilient import (
     resilient_spgemm,
 )
 from repro.core.spgemm import HashSpGEMM, hash_spgemm
+from repro.dist import DevicePool, DistSpGEMM, Interconnect
 from repro.engine import BatchJob, SpGEMMEngine, SpGEMMPlan
 from repro.errors import (
     AlgorithmError,
     DeviceConfigError,
     DeviceFreeError,
+    DeviceLostError,
     DeviceMemoryError,
     HashTableError,
     PlanMismatchError,
@@ -53,10 +55,13 @@ __all__ = [
     "BatchJob",
     "COOMatrix",
     "CSRMatrix",
+    "DevicePool",
     "DeviceSpec",
+    "DistSpGEMM",
     "FaultEvent",
     "FaultPlan",
     "HashSpGEMM",
+    "Interconnect",
     "K40",
     "P100",
     "Precision",
@@ -80,6 +85,7 @@ __all__ = [
     "AlgorithmError",
     "DeviceConfigError",
     "DeviceFreeError",
+    "DeviceLostError",
     "DeviceMemoryError",
     "HashTableError",
     "PlanMismatchError",

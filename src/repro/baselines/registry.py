@@ -8,13 +8,15 @@ from repro.baselines.cusparse_like import CuSparseSpGEMM
 from repro.baselines.esc import ESCSpGEMM
 from repro.core.resilient import ResilientSpGEMM
 from repro.core.spgemm import HashSpGEMM
+from repro.dist.dist import DistSpGEMM
 from repro.engine.engine import SpGEMMEngine
 from repro.errors import AlgorithmError
 
 #: All available algorithms, keyed by their benchmark-table names.
-#: 'resilient' (the degradation-ladder wrapper) and 'engine' (the
-#: plan-cached front) are infrastructure, not paper algorithms; benchmark
-#: sweeps over "the four algorithms" should use DISPLAY_ORDER.
+#: 'resilient' (the degradation-ladder wrapper), 'engine' (the
+#: plan-cached front) and 'dist' (the multi-device driver) are
+#: infrastructure, not paper algorithms; benchmark sweeps over "the four
+#: algorithms" should use DISPLAY_ORDER.
 ALGORITHMS: dict[str, type[SpGEMMAlgorithm]] = {
     "proposal": HashSpGEMM,
     "cusparse": CuSparseSpGEMM,
@@ -22,6 +24,7 @@ ALGORITHMS: dict[str, type[SpGEMMAlgorithm]] = {
     "bhsparse": BHSparseSpGEMM,
     "resilient": ResilientSpGEMM,
     "engine": SpGEMMEngine,
+    "dist": DistSpGEMM,
 }
 
 #: Display order used by the benchmark tables (matches the paper's figures).

@@ -133,6 +133,90 @@ def run_batch(dataset_names: list[str], algorithm: str = "proposal",
 
 
 # ---------------------------------------------------------------------------
+# distributed strong scaling (E17)
+# ---------------------------------------------------------------------------
+
+@dataclass
+class DistScalingRun:
+    """One (dataset, device count) cell of the E17 strong-scaling sweep.
+
+    ``cold`` is the first multiply (empty plan caches, B not resident);
+    ``steady`` the last of ``repeat`` runs, where the per-device plan
+    caches replay numeric-only and the broadcast cache holds B.
+    """
+
+    dataset: str
+    interconnect: str
+    n_devices: int
+    cold: SimReport
+    steady: SimReport
+
+    @property
+    def cold_comm_seconds(self) -> float:
+        """Interconnect wall time of the cold run."""
+        return self.cold.phase_seconds.get("comm", 0.0)
+
+    @property
+    def steady_comm_seconds(self) -> float:
+        """Interconnect wall time of the steady-state run."""
+        return self.steady.phase_seconds.get("comm", 0.0)
+
+
+def run_dist_scaling(dataset_names: list[str],
+                     device_counts: tuple[int, ...] = (1, 2, 4, 8),
+                     interconnect: str = "nvlink",
+                     precision: str = "single",
+                     device: DeviceSpec = P100, *, repeat: int = 3,
+                     algorithm: str = "proposal") -> list[DistScalingRun]:
+    """Strong-scaling sweep: same problem, growing device pool.
+
+    Every (dataset, count) cell gets a fresh pool, multiplied ``repeat``
+    times so the steady state reflects both cache layers.
+    """
+    from repro.dist import DistSpGEMM
+
+    runs = []
+    for name in dataset_names:
+        A = get_dataset(name).matrix()
+        for n in device_counts:
+            dist = DistSpGEMM(n_devices=n, interconnect=interconnect,
+                              algorithm=algorithm)
+            reports = [dist.multiply(A, A, precision=precision,
+                                     device=device,
+                                     matrix_name=name).report
+                       for _ in range(max(2, repeat))]
+            runs.append(DistScalingRun(
+                dataset=name, interconnect=interconnect, n_devices=n,
+                cold=reports[0], steady=reports[-1]))
+    return runs
+
+
+def dist_scaling_table(runs: list[DistScalingRun]) -> str:
+    """E17 table: per-dataset times, comm share and T(1)/T(N) speedups."""
+    datasets = list(dict.fromkeys(r.dataset for r in runs))
+    by_key = {(r.dataset, r.n_devices): r for r in runs}
+    counts = sorted({r.n_devices for r in runs})
+    lines = [f"{'Matrix':<16}{'devs':>6}{'cold us':>10}{'x':>7}"
+             f"{'steady us':>11}{'x':>7}{'comm us':>9}{'comm %':>8}"]
+    for d in datasets:
+        base = by_key.get((d, counts[0]))
+        for n in counts:
+            r = by_key.get((d, n))
+            if r is None or base is None:
+                continue
+            cold_x = base.cold.total_seconds / r.cold.total_seconds
+            steady_x = base.steady.total_seconds / r.steady.total_seconds
+            comm = r.steady_comm_seconds
+            share = 100.0 * comm / r.steady.total_seconds \
+                if r.steady.total_seconds else 0.0
+            lines.append(
+                f"{d:<16}{n:>6}{r.cold.total_seconds * 1e6:>10.1f}"
+                f"{cold_x:>7.2f}{r.steady.total_seconds * 1e6:>11.1f}"
+                f"{steady_x:>7.2f}{comm * 1e6:>9.1f}{share:>8.1f}")
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
 # renderers
 # ---------------------------------------------------------------------------
 

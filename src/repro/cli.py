@@ -30,15 +30,19 @@ ALGORITHM_ALIASES = {"hash": "proposal", "nsparse": "proposal"}
 COMMANDS = ("info", "multiply", "suite", "datasets", "memory")
 
 
+#: --device choices (DEVICE_PRESETS keys, stable order for --help).
+DEVICE_CHOICES = ("P100", "K40", "VEGA56")
+
+
 def _add_device_arg(p: argparse.ArgumentParser) -> None:
-    p.add_argument("--device", choices=("P100", "K40"), default="P100",
+    p.add_argument("--device", choices=DEVICE_CHOICES, default="P100",
                    help="device model to simulate (default: P100)")
 
 
 def _device(name: str):
-    from repro.gpu import device as D
+    from repro.gpu.device import DEVICE_PRESETS
 
-    return {"P100": D.P100, "K40": D.K40}[name]
+    return DEVICE_PRESETS[name]
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -95,11 +99,24 @@ def _build_parser() -> argparse.ArgumentParser:
     p.add_argument("--max-panels", type=int, default=256, metavar="K",
                    help="row-panel chunking limit for --resilient "
                         "(default: 256)")
+    p.add_argument("--devices", metavar="N|SPEC,SPEC,...",
+                   help="distribute the multiply over a simulated device "
+                        "pool: a count (e.g. 4) of --device replicas, or "
+                        "a comma list of presets (e.g. P100,P100,K40)")
+    p.add_argument("--interconnect", choices=("pcie", "nvlink"),
+                   default="pcie",
+                   help="link model between pool devices (default: pcie)")
+    p.add_argument("--dist-stats", action="store_true",
+                   help="print the device pool, partition and per-device "
+                        "plan-cache statistics after a --devices run")
     p.add_argument("--inject-oom-at", type=int, metavar="N",
                    help="inject a DeviceMemoryError at the N-th allocation")
     p.add_argument("--inject-oom-name", metavar="REGEX",
                    help="inject a DeviceMemoryError at the first allocation "
                         "whose buffer name matches REGEX")
+    p.add_argument("--fail-device", metavar="REGEX",
+                   help="drop the first pool device whose id matches REGEX "
+                        "mid-run (requires --devices)")
     p.add_argument("--shrink-capacity", type=float, metavar="FACTOR",
                    help="scale the device capacity by FACTOR in (0, 1]")
     _add_device_arg(p)
@@ -181,7 +198,8 @@ def cmd_info(args) -> int:
 def _fault_plan(args):
     """Build the FaultPlan requested by the --inject-*/--shrink flags."""
     if args.inject_oom_at is None and not args.inject_oom_name \
-            and not args.shrink_capacity:
+            and not args.shrink_capacity \
+            and not getattr(args, "fail_device", None):
         return None
     from repro.gpu.faults import FaultPlan
 
@@ -192,7 +210,24 @@ def _fault_plan(args):
         plan.fail_alloc(name=args.inject_oom_name)
     if args.shrink_capacity:
         plan.limit_capacity(factor=args.shrink_capacity)
+    if getattr(args, "fail_device", None):
+        plan.fail_device(args.fail_device)
     return plan
+
+
+def _dist_algorithm(args, algorithm: str, options: dict, engine_on: bool):
+    """Build the DistSpGEMM driver requested by --devices."""
+    from repro.dist import DevicePool, DistSpGEMM
+
+    spec = args.devices.strip()
+    if "," in spec or not spec.isdigit():
+        pool = DevicePool.from_names(
+            spec.split(","), algorithm=algorithm, engine=engine_on,
+            **options)
+        return DistSpGEMM(pool=pool, interconnect=args.interconnect,
+                          algorithm=algorithm, engine=engine_on, **options)
+    return DistSpGEMM(n_devices=int(spec), interconnect=args.interconnect,
+                      algorithm=algorithm, engine=engine_on, **options)
 
 
 def cmd_multiply(args) -> int:
@@ -217,15 +252,29 @@ def cmd_multiply(args) -> int:
             options["memory_budget"] = int(args.memory_budget * (1 << 20))
 
     repeat = max(1, args.repeat)
-    engine_on = args.engine if args.engine is not None else repeat > 1
+    dist = None
+    if args.devices:
+        # per-device plan caches are the point of a pool; default them on
+        engine_on = args.engine if args.engine is not None else True
+        # --algorithm dist names the driver, not the per-device compute;
+        # the panels run the default inner algorithm
+        inner = "proposal" if algorithm == "dist" else algorithm
+        dist = _dist_algorithm(args, inner, options, engine_on)
+    else:
+        engine_on = args.engine if args.engine is not None else repeat > 1
     eng = None
-    if engine_on:
+    if engine_on and dist is None:
         from repro.engine import SpGEMMEngine
 
         eng = SpGEMMEngine(algorithm, **options)
     try:
         for i in range(repeat):
-            if eng is not None:
+            if dist is not None:
+                result = dist.multiply(A, A, precision=args.precision,
+                                       device=_device(args.device),
+                                       matrix_name=name,
+                                       faults=_fault_plan(args))
+            elif eng is not None:
                 result = eng.multiply(A, A, precision=args.precision,
                                       device=_device(args.device),
                                       matrix_name=name,
@@ -249,13 +298,18 @@ def cmd_multiply(args) -> int:
           f"({r.n_products:,} intermediate products)\n")
     print(r.summary())
     print("\nphase breakdown:")
-    for phase in ("setup", "count", "calc", "malloc"):
+    phases = ("setup", "count", "calc", "malloc")
+    if "comm" in r.phase_seconds:
+        phases += ("comm",)
+    for phase in phases:
         print(f"  {phase:<8} {r.phase_seconds.get(phase, 0) * 1e6:10.1f} us"
               f"  ({100 * r.phase_fraction(phase):5.1f}%)")
     if result.resilience is not None:
         print("\n" + result.resilience.summary())
     if eng is not None:
         print("\n" + eng.stats_summary())
+    if dist is not None and args.dist_stats:
+        print("\n" + dist.dist_stats())
     if args.timeline:
         print("\nkernel timeline:")
         print(render_timeline(r.kernels))

@@ -34,7 +34,7 @@ import numpy as np
 
 from repro.base import SpGEMMAlgorithm, SpGEMMResult
 from repro.core.count_products import count_products
-from repro.errors import DeviceMemoryError, HashTableError
+from repro.errors import DeviceLostError, DeviceMemoryError, HashTableError
 from repro.gpu.device import P100, DeviceSpec
 from repro.gpu.faults import FaultPlan
 from repro.gpu.timeline import PHASES, KernelRecord, SimReport
@@ -44,7 +44,7 @@ from repro.sparse.csr import CSRMatrix
 from repro.types import Precision
 
 #: Failures the ladder absorbs; everything else is a bug and propagates.
-RECOVERABLE = (DeviceMemoryError, HashTableError)
+RECOVERABLE = (DeviceMemoryError, HashTableError, DeviceLostError)
 
 
 @dataclass
@@ -133,7 +133,8 @@ def merge_panel_reports(reports: list[SimReport], *, algorithm: str,
             kernels.append(KernelRecord(
                 name=k.name, phase=k.phase, stream=k.stream,
                 start=k.start + offset, end=k.end + offset,
-                n_blocks=k.n_blocks, block_seconds=k.block_seconds))
+                n_blocks=k.n_blocks, block_seconds=k.block_seconds,
+                device=k.device))
         for e in r.events:
             events.append(e.shifted(offset))
         offset += r.total_seconds

@@ -1,0 +1,384 @@
+"""The distributed SpGEMM driver: scatter-compute-gather over a pool.
+
+:class:`DistSpGEMM` is a registry algorithm (name ``'dist'``) that
+executes ``C = A @ B`` across a :class:`~repro.dist.pool.DevicePool`:
+
+1. **partition** -- A is cut into one contiguous row panel per active
+   device, balanced by modeled per-row work and the devices' bandwidth
+   weights (:mod:`repro.dist.partition`);
+2. **broadcast** -- B is replicated to every device over the configured
+   :class:`~repro.dist.interconnect.Interconnect`.  A per-pool resident
+   cache skips the transfer when the same B is multiplied again, and
+   sends only the value array when the pattern is unchanged (the
+   iterative-solver steady state).  A panels follow the single-device
+   methodology: inputs are resident before the measured region
+   (``alloc_resident``), so only the *replication* the distributed run
+   adds is charged;
+3. **compute wave** -- every device runs its panel through its own
+   runner (a plan-cached engine by default), concurrently.  Wall time is
+   the slowest device's run; it is charged per phase as that critical
+   device's breakdown with source ``devices``, so the conservation laws
+   stay exact;
+4. **gather** -- the C panels return over the interconnect and are
+   ``vstack``-ed.  Panel runs compute exactly the rows a whole-matrix
+   run would, so the result is bit-identical to a single-device run of
+   the same inner algorithm.
+
+Device loss (a :meth:`~repro.gpu.faults.FaultPlan.fail_device` rule) is
+detected at dispatch time, before any panel runs: the survivors are
+re-partitioned and the wave retried, with the detection round charged as
+a ``detect`` comm transfer and the episode recorded in a
+:class:`~repro.core.resilient.ResilienceReport`.  An empty pool raises
+:class:`~repro.errors.DeviceLostError`.
+
+The merged :class:`~repro.gpu.timeline.SimReport` keeps every device
+event (kernels, allocs, grouping, plan-cache traffic) time-shifted onto
+the driver's clock -- only the per-device ``charge`` events are replaced
+by the driver's own, because two devices charging wall time concurrently
+would double-count it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from repro.base import SpGEMMAlgorithm, SpGEMMResult
+from repro.core.resilient import AttemptRecord, ResilienceReport
+from repro.dist.interconnect import Interconnect, parse_interconnect
+from repro.dist.partition import Partition, partition_rows
+from repro.dist.pool import DevicePool, DeviceSlot
+from repro.errors import DeviceLostError
+from repro.gpu.device import P100, DeviceSpec
+from repro.gpu.faults import FaultPlan
+from repro.gpu.timeline import PHASES, KernelRecord, SimReport
+from repro.obs import events as OBS
+from repro.obs.events import Event
+from repro.sparse.csr import CSRMatrix
+from repro.types import Precision
+
+#: Wall time of the control-plane round that notices a dead device
+#: (heartbeat timeout at interconnect scale, not a tuned figure).
+LOSS_DETECT_SECONDS = 25e-6
+
+
+def _digest(*arrays) -> str:
+    h = hashlib.blake2b(digest_size=16)
+    for a in arrays:
+        h.update(str(a.dtype).encode())
+        h.update(str(a.shape).encode())
+        h.update(a.tobytes())
+    return h.hexdigest()
+
+
+class _DriverClock:
+    """Minimal charge accounting for the driver itself (no device memory)."""
+
+    def __init__(self) -> None:
+        self.clock = 0.0
+        self.phase_seconds: dict[str, float] = {p: 0.0 for p in PHASES}
+        self.phase_seconds["comm"] = 0.0
+        self.events: list[Event] = []
+
+    def emit(self, kind: str, name: str, **attrs) -> None:
+        self.events.append(Event(ts=self.clock, kind=kind, name=name,
+                                 attrs=attrs))
+
+    def charge(self, phase: str, seconds: float, source: str,
+               detail: str) -> None:
+        self.emit(OBS.CHARGE, phase, seconds=seconds, source=source,
+                  detail=detail)
+        self.clock += seconds
+        self.phase_seconds[phase] = (self.phase_seconds.get(phase, 0.0)
+                                     + seconds)
+
+
+class DistSpGEMM(SpGEMMAlgorithm):
+    """Multi-device SpGEMM over a simulated pool and interconnect.
+
+    Parameters
+    ----------
+    n_devices:
+        Pool size when no explicit ``pool`` is given; the pool is built
+        lazily from the first multiply's ``device`` spec and reused, so
+        per-device plan caches persist across calls.
+    pool:
+        A ready :class:`~repro.dist.pool.DevicePool` (heterogeneous
+        pools enter here).
+    interconnect:
+        Preset name (``'pcie'`` | ``'nvlink'``) or an
+        :class:`~repro.dist.interconnect.Interconnect` instance.
+    algorithm / engine / **algo_options:
+        Per-device runner: the inner registry algorithm, whether to
+        front it with a plan-cached :class:`~repro.engine.SpGEMMEngine`,
+        and the inner constructor's options.
+    broadcast_cache:
+        Keep B resident across multiplies (pattern digest + value
+        digest; a value-only change ships just the value array).
+    """
+
+    name = "dist"
+
+    def __init__(self, *, n_devices: int = 2, pool: DevicePool | None = None,
+                 interconnect: "Interconnect | str" = "pcie",
+                 algorithm: "str | SpGEMMAlgorithm" = "proposal",
+                 engine: bool = True, broadcast_cache: bool = True,
+                 **algo_options) -> None:
+        self.n_devices = int(n_devices)
+        self.interconnect = parse_interconnect(interconnect)
+        self.algorithm = algorithm
+        self.engine = bool(engine)
+        self.broadcast_cache = bool(broadcast_cache)
+        self.algo_options = dict(algo_options)
+        self._pool = pool
+        self._resident_b: tuple[str, str] | None = None
+        self.last_partition: Partition | None = None
+        self.multiplies = 0
+        self.devices_lost = 0
+
+    # -- pool --------------------------------------------------------------
+
+    def pool(self, device: DeviceSpec = P100) -> DevicePool:
+        """The live pool, built on first use from ``device``."""
+        if self._pool is None:
+            self._pool = DevicePool.uniform(
+                self.n_devices, device, algorithm=self.algorithm,
+                engine=self.engine, **self.algo_options)
+        return self._pool
+
+    # -- the multiply ------------------------------------------------------
+
+    def multiply(self, A: CSRMatrix, B: CSRMatrix, *,
+                 precision: Precision | str = Precision.DOUBLE,
+                 device: DeviceSpec = P100,
+                 matrix_name: str = "",
+                 faults: FaultPlan | None = None) -> SpGEMMResult:
+        A, B, p = self._prepare(A, B, precision)
+        pool = self.pool(device)
+        self.multiplies += 1
+        clk = _DriverClock()
+        rep: ResilienceReport | None = None
+
+        active, rep = self._dispatch(pool, clk, faults, rep)
+        part = partition_rows(A, B, pool.weights(), p)
+        self.last_partition = part
+
+        self._broadcast(B, p, active, clk)
+
+        # concurrent compute wave: one panel per device, wall time is the
+        # slowest device's run
+        wave_start = clk.clock
+        panel_runs: list[tuple[DeviceSlot, tuple[int, int], SpGEMMResult]] = []
+        for slot, (lo, hi) in zip(active, part.panels):
+            if hi <= lo:
+                continue
+            r = slot.runner.multiply(
+                A.row_panel(lo, hi), B, precision=p, device=slot.spec,
+                matrix_name=f"{matrix_name or 'matrix'}@{slot.device_id}",
+                faults=faults)
+            panel_runs.append((slot, (lo, hi), r))
+
+        crit = max((r.report.total_seconds for _, _, r in panel_runs),
+                   default=0.0)
+        crit_slot = next((s for s, _, r in panel_runs
+                          if r.report.total_seconds == crit), None)
+        device_events: list[Event] = []
+        kernels: list[KernelRecord] = []
+        for slot, (lo, hi), r in panel_runs:
+            for k in r.report.kernels:
+                kernels.append(KernelRecord(
+                    name=k.name, phase=k.phase, stream=k.stream,
+                    start=k.start + wave_start, end=k.end + wave_start,
+                    n_blocks=k.n_blocks, block_seconds=k.block_seconds,
+                    device=slot.device_id))
+            for e in r.report.events:
+                # the driver's own charges stand in for the concurrent
+                # per-device ones (see module docstring)
+                if e.kind != OBS.CHARGE:
+                    device_events.append(e.shifted(wave_start))
+            device_events.append(Event(
+                ts=wave_start + r.report.total_seconds, kind=OBS.DIST_PANEL,
+                name=slot.device_id,
+                attrs={"lo": lo, "hi": hi, "rows": hi - lo,
+                       "n_products": r.report.n_products,
+                       "nnz_out": r.report.nnz_out,
+                       "seconds": r.report.total_seconds,
+                       "critical": slot is crit_slot}))
+        if crit_slot is not None:
+            crit_report = next(r.report for s, _, r in panel_runs
+                               if s is crit_slot)
+            for ph, dt in crit_report.phase_seconds.items():
+                clk.charge(ph, dt, "devices",
+                           f"critical device {crit_slot.device_id}")
+
+        parts = [r.matrix for _, _, r in panel_runs]
+        self._gather(parts, p, [s for s, _, _ in panel_runs], clk)
+
+        if rep is not None:
+            self._emit_resilience(clk, rep)
+
+        C = CSRMatrix.vstack(parts) if parts \
+            else CSRMatrix.empty((A.n_rows, B.n_cols), p)
+        report = self._merged_report(
+            matrix_name, p, pool, clk, kernels, device_events,
+            panel_runs)
+        return SpGEMMResult(matrix=C, report=report, resilience=rep)
+
+    # -- stages ------------------------------------------------------------
+
+    def _dispatch(self, pool: DevicePool, clk: _DriverClock,
+                  faults: FaultPlan | None,
+                  rep: ResilienceReport | None):
+        """Health-check the pool; drop failed devices until it is stable.
+
+        Losses fire at dispatch time -- before any panel runs -- so a
+        retry repartitions the survivors without wasted compute.
+        """
+        while True:
+            active = pool.active
+            if not active:
+                err = DeviceLostError(
+                    "all pool devices lost before dispatch",
+                    device_id="", injected=True)
+                if rep is not None:
+                    err.resilience = rep
+                raise err
+            lost = None
+            if faults is not None:
+                for slot in active:
+                    fe = faults.check_device(slot.device_id)
+                    if fe is not None:
+                        lost = (slot, fe)
+                        break
+            if lost is None:
+                return active, rep
+            slot, fe = lost
+            pool.mark_lost(slot.device_id)
+            self.devices_lost += 1
+            survivors = len(pool.active)
+            clk.emit(OBS.DEVICE_LOST, slot.device_id, rule=fe.rule,
+                     survivors=survivors)
+            clk.emit(OBS.COMM, "detect", device=slot.device_id, nbytes=0,
+                     seconds=LOSS_DETECT_SECONDS,
+                     link=self.interconnect.name, cached=False)
+            clk.charge("comm", LOSS_DETECT_SECONDS, "comm",
+                       f"{slot.device_id} loss detection")
+            if rep is None:
+                rep = ResilienceReport()
+            rep.faults_seen += 1
+            rep.injected_faults += 1
+            rep.attempts.append(AttemptRecord(
+                algorithm=self.name, strategy="repartition",
+                budget_bytes=0, panels=survivors, ok=survivors > 0,
+                error=f"device {slot.device_id} lost", injected=True))
+            rep.recovered = survivors > 0
+            rep.final_algorithm = self.name
+            rep.final_strategy = "repartition"
+
+    def _broadcast(self, B: CSRMatrix, p: Precision,
+                   active: list[DeviceSlot], clk: _DriverClock) -> None:
+        """Replicate B to every active device, through the resident cache."""
+        pattern = _digest(B.rpt, B.col) + f":{B.shape}"
+        values = _digest(B.val)
+        cached = False
+        if not self.broadcast_cache or self._resident_b is None:
+            nbytes = B.device_bytes(p)
+        elif self._resident_b == (pattern, values):
+            nbytes = 0
+            cached = True
+        elif self._resident_b[0] == pattern:
+            nbytes = B.nnz * p.value_bytes   # value-only delta
+            cached = True
+        else:
+            nbytes = B.device_bytes(p)
+        self._resident_b = (pattern, values)
+
+        per_link = self.interconnect.transfer_seconds(nbytes)
+        for slot in active:
+            clk.emit(OBS.COMM, "broadcast", device=slot.device_id,
+                     nbytes=nbytes, seconds=per_link,
+                     link=self.interconnect.name, cached=cached)
+        wall = self.interconnect.broadcast_seconds(nbytes, len(active))
+        if wall > 0.0:
+            clk.charge("comm", wall, "comm",
+                       f"broadcast B to {len(active)} devices")
+
+    def _gather(self, parts: list[CSRMatrix], p: Precision,
+                slots: list[DeviceSlot], clk: _DriverClock) -> None:
+        """Collect the C row panels back from the devices."""
+        if not parts:
+            return
+        sizes = [c.device_bytes(p) for c in parts]
+        for slot, nbytes in zip(slots, sizes):
+            clk.emit(OBS.COMM, "gather", device=slot.device_id,
+                     nbytes=nbytes,
+                     seconds=self.interconnect.transfer_seconds(nbytes),
+                     link=self.interconnect.name, cached=False)
+        wall = self.interconnect.gather_seconds(sizes)
+        if wall > 0.0:
+            clk.charge("comm", wall, "comm",
+                       f"gather {len(parts)} panels")
+
+    @staticmethod
+    def _emit_resilience(clk: _DriverClock, rep: ResilienceReport) -> None:
+        for a in rep.attempts:
+            clk.emit(OBS.RESILIENCE, a.strategy,
+                     algorithm=a.algorithm, panels=a.panels,
+                     budget_bytes=a.budget_bytes, ok=a.ok, error=a.error,
+                     injected=a.injected)
+
+    # -- report ------------------------------------------------------------
+
+    def _merged_report(self, matrix_name: str, p: Precision,
+                       pool: DevicePool, clk: _DriverClock,
+                       kernels: list[KernelRecord],
+                       device_events: list[Event],
+                       panel_runs) -> SimReport:
+        events = sorted(clk.events + device_events, key=lambda e: e.ts)
+        reports = [r.report for _, _, r in panel_runs]
+        return SimReport(
+            algorithm=self.name,
+            matrix=matrix_name or "matrix",
+            precision=p.value,
+            device=f"{pool.describe()} via {self.interconnect.name}",
+            n_products=sum(r.n_products for r in reports),
+            nnz_out=sum(r.nnz_out for r in reports),
+            total_seconds=clk.clock,
+            phase_seconds=dict(clk.phase_seconds),
+            peak_bytes=max((r.peak_bytes for r in reports), default=0),
+            malloc_count=sum(r.malloc_count for r in reports),
+            kernels=sorted(kernels, key=lambda k: (k.start, k.device,
+                                                   k.stream, k.name)),
+            events=events,
+            numeric_only=bool(reports) and all(r.numeric_only
+                                               for r in reports),
+        )
+
+    # -- observability -----------------------------------------------------
+
+    def dist_stats(self) -> str:
+        """Multi-paragraph pool/partition/cache block (CLI ``dist-stats``)."""
+        pool = self._pool
+        lines = [f"dist: {self.n_devices if pool is None else len(pool)} "
+                 f"device(s) via {self.interconnect.name} "
+                 f"({self.interconnect.topology}, "
+                 f"{self.interconnect.link_gbps:g} GB/s, "
+                 f"{self.interconnect.latency_s * 1e6:g} us)"]
+        if pool is None:
+            lines.append("  pool not built yet (no multiply run)")
+            return "\n".join(lines)
+        lines.append(f"  pool: {pool.describe()}  "
+                     f"multiplies {self.multiplies}  "
+                     f"devices lost {self.devices_lost}")
+        for s in pool.slots:
+            state = "LOST" if s.lost else "ok"
+            extra = ""
+            if hasattr(s.runner, "cache"):
+                st = s.runner.cache.stats
+                extra = (f"  plan-cache hits {st.hits} misses {st.misses}")
+            lines.append(f"  {s.device_id}: {s.spec.name} "
+                         f"({s.spec.mem_bandwidth_gbps:g} GB/s) "
+                         f"[{state}]{extra}")
+        if self.last_partition is not None:
+            lines.append("  last partition:")
+            lines.append(self.last_partition.summary())
+        return "\n".join(lines)

@@ -1,0 +1,108 @@
+"""Bandwidth-latency model of the links between pool devices.
+
+The distributed driver charges two collectives per multiply: the operand
+broadcast (B to every device) and the result gather (the C row panels
+back).  Both reduce to point-to-point transfers costed by the classic
+alpha-beta model -- ``latency + nbytes / bandwidth`` -- composed according
+to the link *topology*:
+
+``staged``
+    One shared link through the host (PCIe through a switch): transfers
+    serialize, so a collective's wall time is the sum of its transfers.
+``p2p``
+    Direct device-to-device links (NVLink mesh): a broadcast pipelines as
+    a ring/tree (latency grows logarithmically in the device count, the
+    payload crosses a link once), and gathers run on disjoint links in
+    parallel (wall time is the slowest transfer).
+
+The presets are order-of-magnitude figures for the paper's era: PCIe
+3.0 x16 delivers ~12 GB/s effective, first-generation NVLink ~40 GB/s
+with lower latency.  As with the device specs, every configuration sees
+the same model, so cross-preset comparisons are fair.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.errors import DeviceConfigError
+
+#: Valid link topologies (see module docstring).
+TOPOLOGIES = ("staged", "p2p")
+
+
+@dataclass(frozen=True)
+class Interconnect:
+    """Alpha-beta cost model of one inter-device link fabric."""
+
+    name: str
+    link_gbps: float      #: effective per-link bandwidth, GB/s (10^9)
+    latency_s: float      #: per-transfer setup latency, seconds
+    topology: str         #: 'staged' | 'p2p'
+
+    def __post_init__(self) -> None:
+        if self.topology not in TOPOLOGIES:
+            raise DeviceConfigError(
+                f"{self.name}: unknown topology {self.topology!r} "
+                f"(expected one of {TOPOLOGIES})")
+        if self.link_gbps <= 0 or self.latency_s < 0:
+            raise DeviceConfigError(
+                f"{self.name}: bandwidth must be positive and latency "
+                f"non-negative")
+
+    @property
+    def bytes_per_sec(self) -> float:
+        """Per-link bandwidth in bytes/s."""
+        return self.link_gbps * 1e9
+
+    def transfer_seconds(self, nbytes: int) -> float:
+        """Link occupancy of one point-to-point transfer."""
+        if nbytes <= 0:
+            return 0.0
+        return self.latency_s + nbytes / self.bytes_per_sec
+
+    def broadcast_seconds(self, nbytes: int, n_devices: int) -> float:
+        """Wall time of sending ``nbytes`` to each of ``n_devices``.
+
+        Never exceeds ``n_devices * transfer_seconds(nbytes)`` -- the
+        per-link occupancy the conservation check compares against.
+        """
+        if nbytes <= 0 or n_devices <= 0:
+            return 0.0
+        if self.topology == "staged":
+            return n_devices * self.transfer_seconds(nbytes)
+        hops = math.ceil(math.log2(n_devices + 1))
+        return self.latency_s * hops + nbytes / self.bytes_per_sec
+
+    def gather_seconds(self, sizes: Iterable[int]) -> float:
+        """Wall time of collecting one payload from each device."""
+        per = [self.transfer_seconds(n) for n in sizes]
+        if not per:
+            return 0.0
+        return max(per) if self.topology == "p2p" else sum(per)
+
+
+#: PCIe 3.0 x16 through a host switch: one shared staged link.
+PCIE3 = Interconnect(name="pcie3", link_gbps=12.0, latency_s=10e-6,
+                     topology="staged")
+
+#: First-generation NVLink mesh: direct peer links, pipelined collectives.
+NVLINK = Interconnect(name="nvlink", link_gbps=40.0, latency_s=5e-6,
+                      topology="p2p")
+
+#: CLI-facing preset names.
+PRESETS: dict[str, Interconnect] = {"pcie": PCIE3, "nvlink": NVLINK}
+
+
+def parse_interconnect(value: "Interconnect | str") -> Interconnect:
+    """Resolve a preset name (or pass an instance through)."""
+    if isinstance(value, Interconnect):
+        return value
+    try:
+        return PRESETS[value]
+    except KeyError:
+        raise DeviceConfigError(
+            f"unknown interconnect {value!r} "
+            f"(expected one of {sorted(PRESETS)})") from None

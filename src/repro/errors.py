@@ -59,6 +59,25 @@ class DeviceFreeError(DeviceMemoryError):
     allocator.  Carries the allocator state like its OOM sibling."""
 
 
+class DeviceLostError(ReproError):
+    """A device of a multi-GPU pool dropped out mid-run.
+
+    Mirrors ``cudaErrorDeviceUnavailable`` / a failed peer: raised when a
+    :class:`repro.gpu.faults.FaultPlan` device-loss rule fires while
+    :class:`repro.dist.DistSpGEMM` dispatches a panel.  Carries the pool
+    slot that died; the distributed driver absorbs it by repartitioning
+    the surviving devices, and only propagates when the pool is empty.
+    """
+
+    def __init__(self, message: str, *, device_id: str = "",
+                 injected: bool = False) -> None:
+        if injected:
+            message += " [injected fault]"
+        super().__init__(message)
+        self.device_id = str(device_id)
+        self.injected = bool(injected)
+
+
 class DeviceConfigError(ReproError):
     """A kernel launch or device specification is invalid.
 

@@ -198,3 +198,11 @@ VEGA56 = DeviceSpec(
     malloc_per_mib_us=0.5,
     free_base_us=5.0,
 )
+
+#: Named specs exposed to the CLI (``--device``) and to heterogeneous
+#: device pools (``DevicePool.from_names``).
+DEVICE_PRESETS: dict[str, DeviceSpec] = {
+    "P100": P100,
+    "K40": K40,
+    "VEGA56": VEGA56,
+}

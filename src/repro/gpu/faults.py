@@ -19,6 +19,10 @@ force failures at precise points of a run:
 * ``fail_hash_table(pattern)`` injects a hash-table-full event into the
   scheduler when a matching kernel is launched, raising
   :class:`~repro.errors.HashTableError`;
+* ``fail_device(pattern)`` marks a device of a multi-GPU pool as lost
+  when :class:`repro.dist.DistSpGEMM` next dispatches a panel to it,
+  raising :class:`~repro.errors.DeviceLostError` (the distributed driver
+  repartitions the survivors and retries);
 * ``random_alloc_failures(p)`` fails each allocation with probability
   ``p`` from the plan's seeded generator -- deterministic given ``seed``.
 
@@ -38,9 +42,9 @@ import numpy as np
 class FaultEvent:
     """One injected fault (appended to :attr:`FaultPlan.fired`)."""
 
-    kind: str        #: 'alloc' | 'hash_table'
-    site: str        #: allocation buffer name or kernel name
-    index: int       #: global allocation index (-1 for kernel faults)
+    kind: str        #: 'alloc' | 'hash_table' | 'device_lost'
+    site: str        #: allocation buffer, kernel, or pool device id
+    index: int       #: global allocation index (-1 for kernel/device faults)
     rule: str        #: human-readable description of the rule that fired
 
 
@@ -83,6 +87,7 @@ class FaultPlan:
     _index_rules: set = field(default_factory=set)
     _name_rules: list = field(default_factory=list)
     _kernel_rules: list = field(default_factory=list)
+    _device_rules: list = field(default_factory=list)
     _random_prob: float = 0.0
     _random_remaining: float = 0.0
 
@@ -123,6 +128,20 @@ class FaultPlan:
                         times: int | None = 1) -> "FaultPlan":
         """Inject a hash-table-full event when a matching kernel launches."""
         self._kernel_rules.append(_NameRule(
+            re.compile(pattern), nth,
+            float("inf") if times is None else int(times)))
+        return self
+
+    def fail_device(self, pattern: str = ".*", *, nth: int = 1,
+                    times: int | None = 1) -> "FaultPlan":
+        """Drop a pool device when a panel is next dispatched to it.
+
+        ``pattern`` is a regex matched against pool device ids (``dev0``,
+        ``dev1``, ...); ``nth`` picks which matching dispatch fires the
+        loss, ``times=None`` keeps killing every later match (a pool that
+        keeps shrinking).  Only consulted by the distributed driver.
+        """
+        self._device_rules.append(_NameRule(
             re.compile(pattern), nth,
             float("inf") if times is None else int(times)))
         return self
@@ -174,6 +193,17 @@ class FaultPlan:
             if r.check(name):
                 event = FaultEvent(kind="hash_table", site=name, index=-1,
                                    rule=r.describe())
+                self.fired.append(event)
+                return event
+        return None
+
+    def check_device(self, device_id: str) -> FaultEvent | None:
+        """Called when a panel is dispatched to a pool device; returns the
+        device-loss fault to inject, if any."""
+        for r in self._device_rules:
+            if r.check(device_id):
+                event = FaultEvent(kind="device_lost", site=device_id,
+                                   index=-1, rule=r.describe())
                 self.fired.append(event)
                 return event
         return None

@@ -31,6 +31,9 @@ class KernelRecord:
     end: float            #: seconds, last block completion
     n_blocks: int
     block_seconds: float  #: sum of per-block durations (device work)
+    #: pool device id ("dev0", ...) for multi-device runs; "" on a
+    #: single-device run, where the device column would be noise.
+    device: str = ""
 
     @property
     def duration(self) -> float:

@@ -31,10 +31,12 @@ def render_timeline(kernels: list[KernelRecord], *,
 
     The time axis spans the earliest start to the latest end; every
     kernel gets one row with its stream id and duration.  Rows are sorted
-    by (stream, start time), so kernels sharing a name on different
-    streams stay attached to their own stream's bar instead of appearing
-    in scheduler-record order, where the label next to a bar could belong
-    to the same-named kernel of another stream.
+    by (device, stream, start time), so kernels sharing a name on
+    different streams stay attached to their own stream's bar instead of
+    appearing in scheduler-record order, where the label next to a bar
+    could belong to the same-named kernel of another stream.  Records
+    carrying a pool device id (multi-device runs) get that id prefixed to
+    the label, so concurrent per-device timelines stay readable.
     """
     if not kernels:
         return "(no kernels)"
@@ -42,15 +44,20 @@ def render_timeline(kernels: list[KernelRecord], *,
     t0 = min(k.start for k in kernels)
     t1 = max(k.end for k in kernels)
     span = max(t1 - t0, 1e-12)
-    name_w = max(len(k.name) for k in kernels)
+
+    def label(k: KernelRecord) -> str:
+        return f"{k.device}:{k.name}" if k.device else k.name
+
+    name_w = max(len(label(k)) for k in kernels)
 
     lines = []
-    for k in sorted(kernels, key=lambda k: (k.stream, k.start, k.name)):
+    for k in sorted(kernels, key=lambda k: (k.device, k.stream, k.start,
+                                            k.name)):
         lo = min(int((k.start - t0) / span * width), width - 1)
         hi = max(lo + 1, int((k.end - t0) / span * width))
         hi = min(hi, width)
         bar = " " * lo + "=" * (hi - lo) + " " * (width - hi)
-        lines.append(f"{k.name:<{name_w}} s{k.stream:<2}|{bar}| "
+        lines.append(f"{label(k):<{name_w}} s{k.stream:<2}|{bar}| "
                      f"{k.duration * 1e6:8.1f} us")
     lines.append(f"{'':{name_w}}    |{'-' * width}| "
                  f"total {span * 1e6:.1f} us")

@@ -51,6 +51,25 @@ Event kinds
     ``cache_miss`` marks a cold run whose symbolic outcome was captured;
     a ``cache_evict`` records an LRU eviction under the cache's
     device-memory budget (attrs: ``plan_bytes``, ``reason``).
+``comm_transfer``
+    One interconnect transfer of :class:`~repro.dist.DistSpGEMM`;
+    ``name`` is the direction (``broadcast`` | ``gather`` | ``detect``,
+    the last being the control-plane round that discovers a lost
+    device); attrs:
+    ``device``, ``nbytes``, ``seconds`` (link occupancy -- the wall-clock
+    cost is the matching ``charge`` with source ``comm``, which can be
+    smaller when p2p links run in parallel), ``link`` (interconnect
+    preset) and ``cached`` (a broadcast skipped or reduced by the
+    resident-operand cache).
+``dist_panel``
+    One row panel retired by a pool device; ``name`` is the device id;
+    attrs: ``lo``, ``hi``, ``rows``, ``n_products``, ``nnz_out``,
+    ``seconds`` (that device's span of the concurrent compute wave) and
+    ``critical`` (True for the device defining the wave's wall time).
+``device_lost``
+    A pool device dropped out (a :class:`~repro.gpu.faults.FaultPlan`
+    device rule fired); ``name`` is the device id; attrs: ``rule``,
+    ``survivors``.
 """
 
 from __future__ import annotations
@@ -71,14 +90,19 @@ RESILIENCE = "resilience"
 CACHE_HIT = "cache_hit"
 CACHE_MISS = "cache_miss"
 CACHE_EVICT = "cache_evict"
+COMM = "comm_transfer"
+DIST_PANEL = "dist_panel"
+DEVICE_LOST = "device_lost"
 
 #: All kinds the pipeline emits (exporters treat unknown kinds as opaque).
 EVENT_KINDS = (KERNEL_LAUNCH, KERNEL_RETIRE, CHARGE, ALLOC, FREE, GROUPING,
                HASH_STATS, FAULT, RUN_ABORT, RESILIENCE, CACHE_HIT,
-               CACHE_MISS, CACHE_EVICT)
+               CACHE_MISS, CACHE_EVICT, COMM, DIST_PANEL, DEVICE_LOST)
 
-#: ``source`` values a ``charge`` event may carry.
-CHARGE_SOURCES = ("kernels", "sync", "malloc", "free")
+#: ``source`` values a ``charge`` event may carry.  ``comm`` charges are
+#: interconnect wall time; ``devices`` charges are the critical-path
+#: decomposition of a concurrent multi-device compute wave.
+CHARGE_SOURCES = ("kernels", "sync", "malloc", "free", "comm", "devices")
 
 
 @dataclass

@@ -6,7 +6,10 @@ Perfetto: every CUDA stream becomes a named track of complete (``X``)
 kernel slices, the phase charges become a ``phases`` track whose
 per-phase duration totals equal ``SimReport.phase_seconds`` to float
 round-off, device memory in use becomes a counter (``C``) series, and
-grouping / hash / fault / resilience events become instants.
+grouping / hash / fault / resilience events become instants.  Kernel
+records tagged with a pool device id (multi-device runs) are routed into
+a separate Chrome *process* per device, and interconnect transfers
+become slices on a dedicated ``interconnect`` track.
 
 :func:`trace_summary` renders the same report as a stable, canonical
 text document: fixed section order, sorted rows, microsecond timestamps
@@ -33,8 +36,11 @@ PHASE_TRACK = 0
 #: Chrome tid of the plan-cache track (above any plausible stream count).
 ENGINE_TRACK = 1000
 
+#: Chrome tid of the interconnect track of a distributed run.
+COMM_TRACK = 2000
+
 _INSTANT_KINDS = (E.GROUPING, E.HASH_STATS, E.FAULT, E.RUN_ABORT,
-                  E.RESILIENCE)
+                  E.RESILIENCE, E.DIST_PANEL, E.DEVICE_LOST)
 
 _CACHE_KINDS = (E.CACHE_HIT, E.CACHE_MISS, E.CACHE_EVICT)
 
@@ -53,17 +59,29 @@ def chrome_trace(report: "SimReport") -> dict[str, Any]:
                                  f"({report.precision}, {report.device})"}})
     evs.append({"ph": "M", "pid": pid, "tid": PHASE_TRACK,
                 "name": "thread_name", "args": {"name": "phases"}})
-    for stream in sorted({k.stream for k in report.kernels}):
-        evs.append({"ph": "M", "pid": pid, "tid": stream + 1,
+    # multi-device runs: one Chrome process per pool device, so the
+    # concurrent per-device timelines render as separate track groups
+    device_pid = {d: i + 1 for i, d in enumerate(
+        sorted({k.device for k in report.kernels if k.device}))}
+    for d, dpid in device_pid.items():
+        evs.append({"ph": "M", "pid": dpid, "tid": PHASE_TRACK,
+                    "name": "process_name", "args": {"name": d}})
+    for dpid, stream in sorted({(device_pid.get(k.device, pid), k.stream)
+                                for k in report.kernels}):
+        evs.append({"ph": "M", "pid": dpid, "tid": stream + 1,
                     "name": "thread_name",
                     "args": {"name": f"stream {stream}"}})
     if any(e.kind in _CACHE_KINDS for e in report.events):
         evs.append({"ph": "M", "pid": pid, "tid": ENGINE_TRACK,
                     "name": "thread_name", "args": {"name": "engine"}})
+    if any(e.kind == E.COMM for e in report.events):
+        evs.append({"ph": "M", "pid": pid, "tid": COMM_TRACK,
+                    "name": "thread_name", "args": {"name": "interconnect"}})
 
     for rec in report.kernels:
         evs.append({"ph": "X", "cat": "kernel", "name": rec.name,
-                    "pid": pid, "tid": rec.stream + 1,
+                    "pid": device_pid.get(rec.device, pid),
+                    "tid": rec.stream + 1,
                     "ts": _us(rec.start), "dur": _us(rec.duration),
                     "args": {"phase": rec.phase, "n_blocks": rec.n_blocks,
                              "block_seconds": rec.block_seconds}})
@@ -88,6 +106,11 @@ def chrome_trace(report: "SimReport") -> dict[str, Any]:
             evs.append({"ph": "i", "cat": e.kind, "name": e.name,
                         "pid": pid, "tid": ENGINE_TRACK, "ts": _us(e.ts),
                         "s": "p", "args": dict(e.attrs)})
+        elif e.kind == E.COMM:
+            evs.append({"ph": "X", "cat": "comm", "name": e.name,
+                        "pid": pid, "tid": COMM_TRACK, "ts": _us(e.ts),
+                        "dur": _us(e.attrs.get("seconds", 0.0)),
+                        "args": dict(e.attrs)})
 
     return {"traceEvents": evs, "displayTimeUnit": "ns",
             "otherData": {"algorithm": report.algorithm,
@@ -162,9 +185,10 @@ def trace_summary(report: "SimReport") -> str:
 
     lines += ["", "[kernels]"]
     for rec in sorted(report.kernels,
-                      key=lambda r: (r.start, r.stream, r.name)):
+                      key=lambda r: (r.start, r.device, r.stream, r.name)):
+        name = f"{rec.device}:{rec.name}" if rec.device else rec.name
         lines.append(
-            f"kernel {rec.phase} {rec.name} stream={rec.stream} "
+            f"kernel {rec.phase} {name} stream={rec.stream} "
             f"start_us={_tus(rec.start)} dur_us={_tus(rec.duration)} "
             f"blocks={rec.n_blocks} busy_us={_tus(rec.block_seconds)}")
 
@@ -202,8 +226,33 @@ def trace_summary(report: "SimReport") -> str:
             attrs = " ".join(f"{k}={e.attrs[k]}" for k in sorted(e.attrs))
             lines.append(f"{e.kind} {e.name} {attrs}".rstrip())
 
+    comm = [e for e in report.events if e.kind == E.COMM]
+    if comm:
+        lines += ["", "[comm]"]
+        for e in comm:
+            a = e.attrs
+            lines.append(
+                f"comm {e.name} device={a.get('device')} "
+                f"nbytes={a.get('nbytes')} link_us={_tus(a.get('seconds', 0.0))} "
+                f"link={a.get('link')} cached={a.get('cached', False)}")
+        lines.append(f"comm_total link_us="
+                     f"{_tus(sum(e.attrs.get('seconds', 0.0) for e in comm))} "
+                     f"wall_us={_tus(report.phase_seconds.get('comm', 0.0))}")
+
+    panels = [e for e in report.events if e.kind == E.DIST_PANEL]
+    if panels:
+        lines += ["", "[dist]"]
+        for e in panels:
+            a = e.attrs
+            lines.append(
+                f"panel {e.name} rows={a.get('rows')} "
+                f"[{a.get('lo')},{a.get('hi')}) products={a.get('n_products')} "
+                f"nnz_out={a.get('nnz_out')} us={_tus(a.get('seconds', 0.0))} "
+                f"critical={a.get('critical', False)}")
+
     extra = [e for e in report.events
-             if e.kind in (E.FAULT, E.RUN_ABORT, E.RESILIENCE)]
+             if e.kind in (E.FAULT, E.RUN_ABORT, E.RESILIENCE,
+                           E.DEVICE_LOST)]
     if extra:
         lines += ["", "[incidents]"]
         for e in extra:

@@ -176,7 +176,8 @@ class MetricsRegistry:
 # ---------------------------------------------------------------------------
 
 _COMPONENT_BY_KIND = {"kernels": "kernels", "sync": "sync",
-                      "malloc": "malloc", "free": "free"}
+                      "malloc": "malloc", "free": "free",
+                      "comm": "comm", "devices": "devices"}
 
 
 def metrics_from_report(report: "SimReport") -> MetricsRegistry:
@@ -263,6 +264,35 @@ def metrics_from_report(report: "SimReport") -> MetricsRegistry:
                     "plan_cache_saved_seconds_total",
                     "symbolic+setup time amortized by the hit").inc(
                     e.attrs.get("saved_seconds", 0.0))
+        elif e.kind == E.COMM:
+            reg.counter("dist_comm_bytes_total",
+                        "interconnect bytes by direction").inc(
+                e.attrs.get("nbytes", 0), direction=e.name,
+                link=e.attrs.get("link", ""))
+            reg.counter("dist_comm_link_seconds_total",
+                        "per-link transfer occupancy (>= wall time when "
+                        "p2p links overlap)").inc(
+                e.attrs.get("seconds", 0.0), direction=e.name,
+                link=e.attrs.get("link", ""))
+            reg.counter("dist_comm_transfers_total",
+                        "interconnect transfers by direction").inc(
+                1, direction=e.name,
+                cached=e.attrs.get("cached", False))
+        elif e.kind == E.DIST_PANEL:
+            reg.counter("dist_panel_rows", "rows executed per device").inc(
+                e.attrs.get("rows", 0), device=e.name)
+            reg.counter("dist_panel_seconds",
+                        "per-device span of the compute wave").inc(
+                e.attrs.get("seconds", 0.0), device=e.name)
+            reg.counter("dist_panel_products",
+                        "intermediate products per device").inc(
+                e.attrs.get("n_products", 0), device=e.name)
+            reg.counter("dist_panels_total", "panels retired").inc(
+                1, device=e.name)
+        elif e.kind == E.DEVICE_LOST:
+            reg.counter("dist_device_lost_total",
+                        "pool devices dropped mid-run").inc(
+                1, device=e.name)
     return reg
 
 
@@ -291,3 +321,23 @@ def check_conservation(report: "SimReport", *, tol: float = 1e-9) -> None:
             f"alloc {alloc_b:.0f} B != free {free_b:.0f} B at run exit")
     if not E.is_nondecreasing(report.events):
         raise AssertionError("event timestamps decrease")
+    # -- distributed runs: comm and device-wave components ------------------
+    if any(e.kind == E.COMM for e in report.events):
+        comm_wall = reg.total("phase_component_seconds", component="comm")
+        link = reg.total("dist_comm_link_seconds_total")
+        if comm_wall > link + tol:
+            raise AssertionError(
+                f"comm wall {comm_wall!r} exceeds link occupancy {link!r} "
+                "(transfers cannot take less link time than wall time)")
+    panel_secs = [e.attrs.get("seconds", 0.0) for e in report.events
+                  if e.kind == E.DIST_PANEL]
+    if panel_secs:
+        wave = reg.total("phase_component_seconds", component="devices")
+        if max(panel_secs) > wave + tol:
+            raise AssertionError(
+                f"slowest panel {max(panel_secs)!r} exceeds the charged "
+                f"device-wave time {wave!r}")
+        if wave > sum(panel_secs) + tol:
+            raise AssertionError(
+                f"device-wave time {wave!r} exceeds the panels' combined "
+                f"span {sum(panel_secs)!r}")

@@ -135,9 +135,10 @@ class TestBHSparseStructure:
 class TestRegistry:
     def test_all_registered(self):
         assert set(ALGORITHMS) == {"proposal", "cusp", "cusparse", "bhsparse",
-                                   "resilient", "engine"}
+                                   "resilient", "engine", "dist"}
         # the display order stays the paper's four-way comparison
-        assert set(DISPLAY_ORDER) == set(ALGORITHMS) - {"resilient", "engine"}
+        assert set(DISPLAY_ORDER) == set(ALGORITHMS) - {"resilient", "engine",
+                                                        "dist"}
 
     def test_create_unknown(self):
         with pytest.raises(AlgorithmError, match="unknown algorithm"):
