@@ -1,0 +1,82 @@
+"""E18 -- cost-model autotuning: tuned vs default Table I parameters.
+
+The paper fixes its kernel parameters once for the P100 (Table I:
+``t_max`` 4096, PWARP width 4 below 9 products, block sizes 64..1024).
+``repro.tune`` re-optimizes exactly those parameters per device from a
+cheap matrix sketch, scoring candidates with the modeled cost machinery
+and measuring the top ranks end-to-end.  This experiment runs the search
+over the corpus on all three device presets:
+
+1. on the **P100** the defaults were hand-tuned by the authors on real
+   hardware; under the simulator's cost model the search still shaves a
+   few percent on some matrices (the model is not the machine), and it
+   confirms the defaults where it cannot;
+2. on the **K40** (Kepler: smaller shared memory per SM, lower
+   occupancy headroom) the search must find a strict modeled win on at
+   least 3 corpus matrices -- the acceptance gate, pinned numerically
+   in ``benchmarks/regression.py`` (schema 3);
+3. every applied non-default config is validated bit-identical against
+   the dense reference oracle, and a second tune of the same sketch hits
+   the store and returns the identical overrides.
+"""
+
+from repro.bench.datasets import get_dataset
+from repro.gpu.device import DEVICE_PRESETS
+from repro.tune import Autotuner, TuningStore
+
+from benchmarks.conftest import run_once
+
+PRESETS = ("P100", "K40", "VEGA56")
+CORPUS = ("Protein", "Circuit", "Economics", "Epidemiology")
+PRECISION = "single"
+
+
+def test_e18_autotune(benchmark, show):
+    mats = {name: get_dataset(name).matrix() for name in CORPUS}
+
+    def run():
+        results = {}
+        stores = {}
+        for preset in PRESETS:
+            dev = DEVICE_PRESETS[preset]
+            store = stores[preset] = TuningStore()
+            for name in CORPUS:
+                A = mats[name]
+                tuner = Autotuner(dev, PRECISION, store=store)
+                results[preset, name] = tuner.tune(A, A, matrix_name=name)
+        return results, stores
+
+    results, stores = run_once(benchmark, run)
+
+    rows = [f"{'device':>8}{'matrix':>14}{'default us':>12}{'tuned us':>12}"
+            f"{'speedup':>9}  overrides"]
+    wins = {p: 0 for p in PRESETS}
+    for (preset, name), res in results.items():
+        if res.speedup > 1.0:
+            wins[preset] += 1
+        rows.append(f"{preset:>8}{name:>14}"
+                    f"{res.default_seconds * 1e6:>12.1f}"
+                    f"{res.tuned_seconds * 1e6:>12.1f}"
+                    f"{res.speedup:>9.3f}  {res.overrides.describe()}")
+    rows.append("wins per preset: " + "  ".join(
+        f"{p}={wins[p]}/{len(CORPUS)}" for p in PRESETS))
+    show("E18: autotuned vs default Table I parameters (modeled time)",
+         "\n".join(rows))
+
+    for (preset, name), res in results.items():
+        # the search falls back to the defaults when it cannot beat them,
+        # so tuned time never regresses past default
+        assert res.tuned_seconds <= res.default_seconds * (1.0 + 1e-9), \
+            (preset, name)
+        # every applied non-default config passed the oracle check
+        if not res.overrides.is_default():
+            assert res.validated, (preset, name)
+        # a second tune of the same sketch hits the store and returns
+        # the identical configuration
+        dev = DEVICE_PRESETS[preset]
+        again = Autotuner(dev, PRECISION, store=stores[preset]).tune(
+            mats[name], mats[name], matrix_name=name)
+        assert again.from_cache and again.overrides == res.overrides
+
+    # the acceptance gate: >= 3 strict modeled wins on a non-P100 preset
+    assert max(wins[p] for p in PRESETS if p != "P100") >= 3, wins

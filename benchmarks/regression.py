@@ -5,7 +5,9 @@ high-throughput FEM pattern) and Circuit (a low-throughput one) -- run
 single-precision over the paper's four algorithms (the Figure 2 slice),
 plus the E15-style per-phase breakdown for cuSPARSE and the proposal,
 plus the E17 distributed slice (steady-state 4-device NVLink totals with
-the interconnect wall broken out as phase ``comm``).
+the interconnect wall broken out as phase ``comm``), plus the E18 tune
+slice (K40 autotuned vs default Table I parameters on three corpus
+matrices, hard-gated on ``tuned <= default``).
 All compared quantities are *modeled* device numbers, so they are exactly
 reproducible across runners; wall-clock is recorded for context and only
 fenced loosely (runner variance).
@@ -36,11 +38,16 @@ WALL_TOLERANCE = 3.0
 #: The pinned subset: one high- and one low-throughput analogue.
 DATASETS = ("Protein", "Circuit")
 PRECISION = "single"
-SCHEMA = 2
+SCHEMA = 3
 
 #: The distributed slice (E17): steady-state pool sizes to pin per dataset.
 DIST_DEVICES = 4
 DIST_INTERCONNECT = "nvlink"
+
+#: The tune slice (E18): a non-P100 preset where the Table I defaults are
+#: known-suboptimal, over matrices where the search finds a strict win.
+TUNE_DEVICE = "K40"
+TUNE_DATASETS = ("Protein", "Circuit", "Economics")
 
 
 def collect() -> dict:
@@ -81,6 +88,22 @@ def collect() -> dict:
                     "phase_seconds": {
                         "comm": d.steady_comm_seconds},
                     "cold_seconds": d.cold.total_seconds})
+
+    # the E18 slice: autotuned vs default Table I parameters
+    from repro.bench.datasets import get_dataset
+    from repro.gpu.device import DEVICE_PRESETS
+    from repro.tune import Autotuner
+
+    dev = DEVICE_PRESETS[TUNE_DEVICE]
+    for name in TUNE_DATASETS:
+        A = get_dataset(name).matrix()
+        res = Autotuner(dev, PRECISION).tune(A, A, matrix_name=name)
+        out.append({"dataset": name,
+                    "algorithm": f"tune-{TUNE_DEVICE}",
+                    "total_seconds": res.tuned_seconds,
+                    "default_seconds": res.default_seconds,
+                    "tune_speedup": res.speedup,
+                    "overrides": res.overrides.describe()})
     wall = time.perf_counter() - t0
     return {"schema": SCHEMA, "precision": PRECISION,
             "datasets": list(DATASETS), "wall_seconds": wall, "runs": out}
@@ -115,7 +138,21 @@ def compare(baseline: dict, current: dict) -> list[str]:
             continue
         if b.get("oom"):
             continue
-        if c["gflops"] < b["gflops"] * (1.0 - MODELED_TOLERANCE):
+        if "default_seconds" in c:
+            # the tune slice's hard invariant: the search falls back to
+            # the defaults, so tuned can never be slower than default
+            if c["total_seconds"] > c["default_seconds"] * (1.0 + 1e-9):
+                problems.append(
+                    f"{where}: tuned total "
+                    f"{c['total_seconds'] * 1e6:.1f} us exceeds default "
+                    f"{c['default_seconds'] * 1e6:.1f} us")
+            if (b.get("tune_speedup", 1.0) > 1.0
+                    and c.get("tune_speedup", 1.0) <= 1.0):
+                problems.append(
+                    f"{where}: tuning no longer beats the defaults "
+                    f"(x{b['tune_speedup']:.3f} -> "
+                    f"x{c.get('tune_speedup', 1.0):.3f})")
+        if "gflops" in b and c["gflops"] < b["gflops"] * (1.0 - MODELED_TOLERANCE):
             problems.append(
                 f"{where}: modeled GFLOPS regressed "
                 f"{b['gflops']:.3f} -> {c['gflops']:.3f} "

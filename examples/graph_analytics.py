@@ -40,8 +40,8 @@ def main() -> None:
     # the SpGEMM behind it, timed on the simulated device per algorithm
     print("\nA^2 cost per algorithm (simulated P100, single precision):")
     for algorithm in ("cusp", "cusparse", "bhsparse", "proposal"):
-        r = repro.spgemm(G, G, algorithm=algorithm, precision="single",
-                         matrix_name="rmat11")
+        r = repro.multiply(G, G, algorithm=algorithm, precision="single",
+                           matrix_name="rmat11")
         print(f"  {algorithm:<10} {r.report.gflops:7.2f} GFLOPS   "
               f"{r.report.total_seconds * 1e3:7.3f} ms   "
               f"peak {r.report.peak_bytes / 2**20:7.1f} MiB")

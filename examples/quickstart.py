@@ -30,15 +30,15 @@ def main() -> None:
           f"{'GFLOPS':>8} {'time':>12} {'peak memory':>16}")
     for name in ("cusp", "cusparse", "bhsparse", "proposal"):
         for precision in ("single", "double"):
-            result = repro.spgemm(A, A, algorithm=name, precision=precision,
-                                  matrix_name="banded2k")
+            result = repro.multiply(A, A, algorithm=name, precision=precision,
+                                    matrix_name="banded2k")
             assert result.matrix.allclose(reference), name
             print(result.report.summary())
     print("\nall results match the reference SpGEMM")
 
     # peek inside the winning run: the per-phase breakdown of Figure 5
-    report = repro.spgemm(A, A, algorithm="proposal",
-                          matrix_name="banded2k").report
+    report = repro.multiply(A, A, algorithm="proposal",
+                            matrix_name="banded2k").report
     print("\nproposal phase breakdown:")
     for phase in ("setup", "count", "calc", "malloc"):
         seconds = report.phase_seconds[phase]

@@ -12,13 +12,21 @@ Quick start::
 
     import repro
     A = repro.generators.poisson2d(128)
-    result = repro.spgemm(A, A, algorithm="proposal", precision="double")
+    result = repro.multiply(A, A)                       # paper defaults
+    result = repro.multiply(A, A, options=repro.SpGEMMOptions(
+        algorithm="proposal", precision="single", tune=True))
     print(result.report.summary())
+
+:func:`repro.multiply` with a :class:`repro.SpGEMMOptions` is the public
+API; ``repro.spgemm`` and the per-algorithm wrappers remain as
+deprecated shims with identical results.
 """
+
+import warnings as _warnings
 
 from repro import sparse
 from repro.base import SpGEMMAlgorithm, SpGEMMResult
-from repro.core.params import build_group_table
+from repro.core.params import ParamOverrides, build_group_table
 from repro.core.resilient import (
     ResilienceReport,
     ResilientSpGEMM,
@@ -39,7 +47,10 @@ from repro.errors import (
     SchedulerError,
     ShapeMismatchError,
     SparseFormatError,
+    UnknownAlgorithmError,
 )
+from repro.options import SpGEMMOptions, multiply, runner_for
+from repro.tune import Autotuner, TunedSpGEMM, TuningStore
 from repro.gpu.device import K40, P100, VEGA56, DeviceSpec
 from repro.gpu.faults import FaultEvent, FaultPlan
 from repro.gpu.timeline import SimReport
@@ -52,6 +63,7 @@ from repro.types import Precision
 __version__ = "1.0.0"
 
 __all__ = [
+    "Autotuner",
     "BatchJob",
     "COOMatrix",
     "CSRMatrix",
@@ -64,20 +76,26 @@ __all__ = [
     "Interconnect",
     "K40",
     "P100",
+    "ParamOverrides",
     "Precision",
     "ResilienceReport",
     "ResilientSpGEMM",
     "SimReport",
     "SpGEMMAlgorithm",
     "SpGEMMEngine",
+    "SpGEMMOptions",
     "SpGEMMPlan",
     "SpGEMMResult",
+    "TunedSpGEMM",
+    "TuningStore",
     "VEGA56",
     "algorithms",
     "build_group_table",
     "generators",
     "hash_spgemm",
+    "multiply",
     "resilient_spgemm",
+    "runner_for",
     "spgemm",
     "spgemm_reference",
     "sparse",
@@ -93,6 +111,7 @@ __all__ = [
     "SchedulerError",
     "ShapeMismatchError",
     "SparseFormatError",
+    "UnknownAlgorithmError",
 ]
 
 
@@ -106,17 +125,21 @@ def algorithms() -> dict[str, type[SpGEMMAlgorithm]]:
 def spgemm(A: CSRMatrix, B: CSRMatrix, *, algorithm: str = "proposal",
            precision: Precision | str = Precision.DOUBLE, device: DeviceSpec = P100,
            matrix_name: str = "", faults: FaultPlan | None = None,
-           **options) -> SpGEMMResult:
+           options: SpGEMMOptions | None = None, **algo_options) -> SpGEMMResult:
     """Multiply two CSR matrices with a named algorithm.
 
-    ``algorithm`` is one of :func:`algorithms` ('proposal', 'cusparse',
-    'cusp', 'bhsparse', 'resilient'); extra keyword options go to the
-    algorithm's constructor (e.g. ``use_streams=False`` for the proposal,
-    ``memory_budget=...`` for 'resilient').  ``faults`` injects a
-    deterministic :class:`FaultPlan` into the run (testing/robustness).
+    .. deprecated:: 1.1
+        The scattered-kwargs form is superseded by :func:`repro.multiply`
+        with a :class:`SpGEMMOptions`; this shim maps onto it (identical
+        results) and emits a :class:`DeprecationWarning`.  Passing
+        ``options=`` directly is the migrated spelling and does not warn.
     """
-    from repro.baselines.registry import create
-
-    algo = create(algorithm, **options)
-    return algo.multiply(A, B, precision=precision, device=device,
-                         matrix_name=matrix_name, faults=faults)
+    if options is None:
+        _warnings.warn(
+            "repro.spgemm(algorithm=..., **kwargs) is deprecated; use "
+            "repro.multiply(A, B, options=SpGEMMOptions(...))",
+            DeprecationWarning, stacklevel=2)
+        options = SpGEMMOptions(algorithm=algorithm, precision=precision,
+                                device=device, algo_options=algo_options)
+    return multiply(A, B, options=options, matrix_name=matrix_name,
+                    faults=faults)

@@ -29,12 +29,24 @@ def resolve_engine(engine, algorithm: str):
 
 def multiply(A, B, *, engine=None, algorithm: str = "proposal",
              precision: Precision | str = Precision.DOUBLE,
-             matrix_name: str = ""):
-    """One SpGEMM through the engine when given, else a one-shot call."""
+             matrix_name: str = "", options=None):
+    """One SpGEMM through the engine when given, else a one-shot call.
+
+    ``options`` (a :class:`~repro.options.SpGEMMOptions`) overrides the
+    individual keyword arguments when given, so apps compose with the
+    unified facade (tuning, resilience, distribution) without growing
+    their own keyword surface.
+    """
+    from repro.options import SpGEMMOptions
+    from repro.options import multiply as _multiply
+
+    if options is not None:
+        if engine is not None:
+            return engine.multiply(A, B, matrix_name=matrix_name,
+                                   options=options)
+        return _multiply(A, B, options=options, matrix_name=matrix_name)
     if engine is not None:
         return engine.multiply(A, B, precision=precision,
                                matrix_name=matrix_name)
-    from repro import spgemm
-
-    return spgemm(A, B, algorithm=algorithm, precision=precision,
-                  matrix_name=matrix_name)
+    return _multiply(A, B, options=SpGEMMOptions(
+        algorithm=algorithm, precision=precision), matrix_name=matrix_name)

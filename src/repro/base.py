@@ -283,6 +283,17 @@ class SpGEMMAlgorithm(abc.ABC):
         the run context guarantees no device allocation stays live.
         """
 
+    def apply_param_overrides(self, overrides) -> bool:
+        """Adopt tuned :class:`~repro.core.params.ParamOverrides`.
+
+        Returns ``True`` when the algorithm (or a wrapped inner one)
+        consumed the overrides; the base implementation declines, so the
+        autotuner knows the baselines have no Table I parameter space to
+        tune.  Implementations must fold adopted overrides into their
+        plan-cache switches.
+        """
+        return False
+
     # -- shared helpers ------------------------------------------------------
 
     @staticmethod

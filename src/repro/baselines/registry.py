@@ -10,7 +10,8 @@ from repro.core.resilient import ResilientSpGEMM
 from repro.core.spgemm import HashSpGEMM
 from repro.dist.dist import DistSpGEMM
 from repro.engine.engine import SpGEMMEngine
-from repro.errors import AlgorithmError
+from repro.errors import UnknownAlgorithmError
+from repro.tune.tuned import TunedSpGEMM
 
 #: All available algorithms, keyed by their benchmark-table names.
 #: 'resilient' (the degradation-ladder wrapper), 'engine' (the
@@ -25,6 +26,7 @@ ALGORITHMS: dict[str, type[SpGEMMAlgorithm]] = {
     "resilient": ResilientSpGEMM,
     "engine": SpGEMMEngine,
     "dist": DistSpGEMM,
+    "tune": TunedSpGEMM,
 }
 
 #: Display order used by the benchmark tables (matches the paper's figures).
@@ -34,15 +36,13 @@ DISPLAY_ORDER = ("cusp", "cusparse", "bhsparse", "proposal")
 def create(name: str, **options) -> SpGEMMAlgorithm:
     """Instantiate an algorithm by registry name.
 
-    Raises :class:`AlgorithmError` for unknown names; keyword options are
-    forwarded to the algorithm constructor (the proposal's ablation
-    switches, the resilient wrapper's budget/chain, the engine's cache
-    configuration).
+    Raises :class:`~repro.errors.UnknownAlgorithmError` (listing the
+    registered names) for unknown names; keyword options are forwarded to
+    the algorithm constructor (the proposal's ablation switches, the
+    resilient wrapper's budget/chain, the engine's cache configuration).
     """
     try:
         cls = ALGORITHMS[name]
     except KeyError:
-        raise AlgorithmError(
-            f"unknown algorithm {name!r}; available: {sorted(ALGORITHMS)}"
-        ) from None
+        raise UnknownAlgorithmError(name, ALGORITHMS) from None
     return cls(**options)

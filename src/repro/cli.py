@@ -99,6 +99,13 @@ def _build_parser() -> argparse.ArgumentParser:
     p.add_argument("--max-panels", type=int, default=256, metavar="K",
                    help="row-panel chunking limit for --resilient "
                         "(default: 256)")
+    p.add_argument("--tune", action="store_true",
+                   help="autotune the proposal's Table I parameters for "
+                        "the target device before running (per pool "
+                        "device with --devices)")
+    p.add_argument("--tune-store", metavar="FILE",
+                   help="JSON file persisting tuned configs across runs "
+                        "(implies --tune)")
     p.add_argument("--devices", metavar="N|SPEC,SPEC,...",
                    help="distribute the multiply over a simulated device "
                         "pool: a count (e.g. 4) of --device replicas, or "
@@ -215,76 +222,56 @@ def _fault_plan(args):
     return plan
 
 
-def _dist_algorithm(args, algorithm: str, options: dict, engine_on: bool):
-    """Build the DistSpGEMM driver requested by --devices."""
-    from repro.dist import DevicePool, DistSpGEMM
+def _options_from_args(args, repeat: int):
+    """One :class:`~repro.options.SpGEMMOptions` from the multiply flags."""
+    from repro.options import SpGEMMOptions
 
-    spec = args.devices.strip()
-    if "," in spec or not spec.isdigit():
-        pool = DevicePool.from_names(
-            spec.split(","), algorithm=algorithm, engine=engine_on,
-            **options)
-        return DistSpGEMM(pool=pool, interconnect=args.interconnect,
-                          algorithm=algorithm, engine=engine_on, **options)
-    return DistSpGEMM(n_devices=int(spec), interconnect=args.interconnect,
-                      algorithm=algorithm, engine=engine_on, **options)
+    algorithm = ALGORITHM_ALIASES.get(args.algorithm, args.algorithm)
+    devices = None
+    if args.devices:
+        spec = args.devices.strip()
+        devices = int(spec) if spec.isdigit() else tuple(spec.split(","))
+        # per-device plan caches are the point of a pool; default them on
+        engine = args.engine if args.engine is not None else True
+    else:
+        engine = args.engine if args.engine is not None else repeat > 1
+    memory_budget = (int(args.memory_budget * (1 << 20))
+                     if args.memory_budget is not None else None)
+    return SpGEMMOptions(
+        algorithm=algorithm, precision=args.precision,
+        device=_device(args.device), engine=engine,
+        resilient=args.resilient, memory_budget=memory_budget,
+        max_panels=args.max_panels, devices=devices,
+        interconnect=args.interconnect,
+        tune=args.tune or bool(args.tune_store),
+        tune_store=args.tune_store)
 
 
 def cmd_multiply(args) -> int:
     import repro
+    from repro.dist import DistSpGEMM
+    from repro.engine import SpGEMMEngine
     from repro.gpu.trace import render_timeline
+    from repro.options import runner_for
+    from repro.tune.tuned import TunedSpGEMM
 
     A, name = _load_matrix(args)
     print(f"{name}: {A.n_rows:,} x {A.n_cols:,}, {A.nnz:,} nonzeros")
 
-    algorithm = ALGORITHM_ALIASES.get(args.algorithm, args.algorithm)
-    options = {}
-    if args.resilient or args.memory_budget is not None:
-        if algorithm != "resilient":
-            # keep the chosen algorithm first in the fallback chain
-            options["algorithms"] = ((algorithm, "cusparse")
-                                     if algorithm != "cusparse"
-                                     else ("cusparse", "proposal"))
-        algorithm = "resilient"
-    if algorithm == "resilient":
-        options["max_panels"] = args.max_panels
-        if args.memory_budget is not None:
-            options["memory_budget"] = int(args.memory_budget * (1 << 20))
-
     repeat = max(1, args.repeat)
-    dist = None
-    if args.devices:
-        # per-device plan caches are the point of a pool; default them on
-        engine_on = args.engine if args.engine is not None else True
-        # --algorithm dist names the driver, not the per-device compute;
-        # the panels run the default inner algorithm
-        inner = "proposal" if algorithm == "dist" else algorithm
-        dist = _dist_algorithm(args, inner, options, engine_on)
-    else:
-        engine_on = args.engine if args.engine is not None else repeat > 1
-    eng = None
-    if engine_on and dist is None:
-        from repro.engine import SpGEMMEngine
-
-        eng = SpGEMMEngine(algorithm, **options)
+    options = _options_from_args(args, repeat)
+    # one runner for all repeats: the engine replays cached plans and the
+    # tuner reuses its store across iterations
+    runner = runner_for(options)
+    dist = runner if isinstance(runner, DistSpGEMM) else None
+    eng = next((r for r in (runner, getattr(runner, "inner", None))
+                if isinstance(r, SpGEMMEngine)), None)
     try:
         for i in range(repeat):
-            if dist is not None:
-                result = dist.multiply(A, A, precision=args.precision,
-                                       device=_device(args.device),
-                                       matrix_name=name,
-                                       faults=_fault_plan(args))
-            elif eng is not None:
-                result = eng.multiply(A, A, precision=args.precision,
-                                      device=_device(args.device),
-                                      matrix_name=name,
-                                      faults=_fault_plan(args))
-            else:
-                result = repro.spgemm(A, A, algorithm=algorithm,
-                                      precision=args.precision,
-                                      device=_device(args.device),
-                                      matrix_name=name,
-                                      faults=_fault_plan(args), **options)
+            result = runner.multiply(A, A, precision=options.precision,
+                                     device=options.device,
+                                     matrix_name=name,
+                                     faults=_fault_plan(args))
             if repeat > 1:
                 rr = result.report
                 tag = "replay" if rr.numeric_only else "cold"
@@ -306,6 +293,9 @@ def cmd_multiply(args) -> int:
               f"  ({100 * r.phase_fraction(phase):5.1f}%)")
     if result.resilience is not None:
         print("\n" + result.resilience.summary())
+    if isinstance(runner, TunedSpGEMM):
+        ov = runner.last_overrides()
+        print(f"\ntuned parameters ({options.device.name}): {ov.describe()}")
     if eng is not None:
         print("\n" + eng.stats_summary())
     if dist is not None and args.dist_stats:

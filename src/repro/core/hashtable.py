@@ -35,12 +35,17 @@ class HashTable:
         powers of two so the modulus is a bit mask).
     with_values:
         Allocate the value column used by the numeric phase.
+    scal:
+        Hash-function multiplier (the paper's ``HASH_SCAL`` = 107 unless
+        a tuned :class:`~repro.core.params.ParamOverrides` replaces it).
     """
 
-    def __init__(self, size: int, *, with_values: bool = False) -> None:
+    def __init__(self, size: int, *, with_values: bool = False,
+                 scal: int = HASH_SCAL) -> None:
         if size < 1 or size & (size - 1):
             raise HashTableError(f"table size {size} is not a power of two")
         self.size = int(size)
+        self.scal = int(scal)
         self.keys = np.full(self.size, HASH_EMPTY, dtype=np.int64)
         self.values = np.zeros(self.size, dtype=np.float64) if with_values else None
         self.count = 0            #: distinct keys stored
@@ -56,7 +61,7 @@ class HashTable:
         """
         if key < 0:
             raise HashTableError(f"negative key {key}")
-        h = (key * HASH_SCAL) % self.size
+        h = (key * self.scal) % self.size
         for _ in range(self.size):
             self.probes += 1
             slot = self.keys[h]
@@ -77,7 +82,7 @@ class HashTable:
 
     def lookup(self, key: int) -> float | None:
         """Value stored for ``key`` (None when absent / no value column)."""
-        h = (key * HASH_SCAL) % self.size
+        h = (key * self.scal) % self.size
         for _ in range(self.size):
             slot = self.keys[h]
             if slot == key:

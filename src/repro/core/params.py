@@ -26,10 +26,11 @@ devices:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, fields
 
 from repro.errors import DeviceConfigError
 from repro.gpu.device import DeviceSpec
+from repro.types import HASH_SCAL, next_pow2
 
 #: Number of threads cooperating on one row in PWARP/ROW.  Section III-B:
 #: a preliminary sweep over 1/2/4/8/16 threads found 4 stably best; the
@@ -57,6 +58,72 @@ def pow2_floor(n: int) -> int:
     if n < 1:
         raise ValueError(f"pow2_floor of {n}")
     return 1 << (int(n).bit_length() - 1)
+
+
+@dataclass(frozen=True)
+class ParamOverrides:
+    """Tuned deviations from the paper's Table I construction.
+
+    Every field defaults to ``None`` = "keep the Section III-D value";
+    the autotuner (:mod:`repro.tune`) searches over these and
+    :func:`build_group_table` applies them.  Overrides only move grouping
+    boundaries and kernel shapes -- the functional result is unchanged,
+    which is what lets tuned configs stay bit-identical to the reference
+    oracle.
+
+    t_max:
+        Cap on the largest numeric-phase shared table (entries; rounded
+        down to a power of two).  Smaller caps route more large rows to
+        Group 0's global tables but shrink every shared table, raising
+        occupancy.
+    pwarp_width:
+        Threads cooperating on one row in the PWARP/ROW group.
+    pwarp_nnz_max:
+        The PWARP/TB boundary: rows with at most this many output nnz
+        (twice as many intermediate products) take the PWARP path.
+    max_block_threads:
+        Starting block size of the TB/ROW halving ladder (Table I's
+        Group 1); rounded down to a power of two, floored at the warp.
+    hash_scal:
+        Multiplier of the paper's ``(key * HASH_SCAL) % size`` hash.
+        Functional only: the cost model is multiplier-invariant, so the
+        search keeps it unless a collision pathology is being probed, and
+        the oracle validation guards any value.
+    """
+
+    t_max: int | None = None
+    pwarp_width: int | None = None
+    pwarp_nnz_max: int | None = None
+    max_block_threads: int | None = None
+    hash_scal: int | None = None
+
+    def is_default(self) -> bool:
+        """True when no field deviates from Table I."""
+        return all(getattr(self, f.name) is None for f in fields(self))
+
+    def switches(self) -> tuple:
+        """Canonical ``((field, value), ...)`` of the *set* fields only,
+        sorted by name -- folded into plan-cache keys, so a tuned and an
+        untuned run of the same pattern never share a plan."""
+        return tuple(sorted(
+            (f.name, getattr(self, f.name)) for f in fields(self)
+            if getattr(self, f.name) is not None))
+
+    def to_dict(self) -> dict:
+        """JSON-representable form (set fields only; round-trips through
+        :meth:`from_dict`)."""
+        return {k: v for k, v in self.switches()}
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "ParamOverrides":
+        """Inverse of :meth:`to_dict`; unknown keys raise ``TypeError``."""
+        return cls(**{k: int(v) for k, v in d.items()})
+
+    def describe(self) -> str:
+        """Compact human-readable form (``default`` when nothing is set)."""
+        if self.is_default():
+            return "default"
+        return " ".join(f"{k}={v}" for k, v in self.switches())
 
 
 @dataclass(frozen=True)
@@ -106,10 +173,15 @@ class GroupParams:
 
 @dataclass(frozen=True)
 class GroupTable:
-    """The full group table for a device (Table I for the P100)."""
+    """The full group table for a device (Table I for the P100).
+
+    ``hash_scal`` is the hash-function multiplier the kernels of this
+    table use (the paper's ``HASH_SCAL`` = 107 unless overridden).
+    """
 
     device_name: str
     groups: tuple[GroupParams, ...]   #: ordered by gid (0 = largest rows)
+    hash_scal: int = HASH_SCAL
 
     def __iter__(self):
         return iter(self.groups)
@@ -144,7 +216,8 @@ class GroupTable:
 
 def build_group_table(device: DeviceSpec,
                       pwarp_width: int = PWARP_WIDTH,
-                      uniform_tb: bool = False) -> GroupTable:
+                      uniform_tb: bool = False,
+                      overrides: ParamOverrides | None = None) -> GroupTable:
     """Derive the group table for ``device`` per Section III-D.
 
     Table sizing uses the double-precision entry layout (4-byte key +
@@ -161,20 +234,42 @@ def build_group_table(device: DeviceSpec,
     increase the number of concurrently executing thread blocks on each
     SM" (Section III-D); with uniform configs, small rows run in
     oversized blocks with oversized tables and occupancy collapses.
+
+    ``overrides`` (a :class:`ParamOverrides`, typically from the
+    autotuner) replaces individual Table I construction inputs; its
+    ``pwarp_width`` wins over the positional argument.  Invalid
+    combinations raise :class:`~repro.errors.DeviceConfigError`, so the
+    tuner can discard infeasible candidates.
     """
+    ov = overrides or ParamOverrides()
+    if ov.pwarp_width is not None:
+        pwarp_width = ov.pwarp_width
     if pwarp_width < 1 or pwarp_width > device.warp_size:
         raise DeviceConfigError(f"pwarp width {pwarp_width} out of range")
     entry_bytes = 12  # key (4) + double value (8)
     t_max = pow2_floor(device.max_shared_per_block // entry_bytes)
+    if ov.t_max is not None:
+        t_max = min(t_max, pow2_floor(max(1, ov.t_max)))
     if t_max < 2 * device.warp_size:
         raise DeviceConfigError(
-            f"{device.name}: shared memory too small for hash SpGEMM")
+            f"{device.name}: shared memory too small for hash SpGEMM"
+            + (f" (t_max override {ov.t_max})" if ov.t_max else ""))
 
     pwarp_nnz_max = device.warp_size // 2        # 16 on the P100
+    if ov.pwarp_nnz_max is not None:
+        pwarp_nnz_max = int(ov.pwarp_nnz_max)
+    if not 1 <= pwarp_nnz_max <= t_max // 2:
+        raise DeviceConfigError(
+            f"pwarp boundary {pwarp_nnz_max} out of range [1, {t_max // 2}]")
+
+    max_threads = device.max_threads_per_block
+    if ov.max_block_threads is not None:
+        max_threads = pow2_floor(
+            min(max_threads, max(device.warp_size, ov.max_block_threads)))
 
     tb_groups: list[GroupParams] = []
     table = t_max
-    threads = device.max_threads_per_block
+    threads = max_threads
     gid = 1
     while True:
         nominal = min(device.max_threads_per_sm // threads,
@@ -204,9 +299,9 @@ def build_group_table(device: DeviceSpec,
             gid=g.gid, assignment=g.assignment,
             min_products=g.min_products, max_products=g.max_products,
             min_nnz=g.min_nnz, max_nnz=g.max_nnz,
-            block_threads=device.max_threads_per_block,
+            block_threads=max_threads,
             nominal_blocks_per_sm=min(
-                device.max_threads_per_sm // device.max_threads_per_block,
+                device.max_threads_per_sm // max_threads,
                 device.max_blocks_per_sm),
             table_symbolic=2 * t_max, table_numeric=t_max)
             for g in tb_groups]
@@ -218,9 +313,9 @@ def build_group_table(device: DeviceSpec,
         max_products=None,
         min_nnz=t_max + 1,
         max_nnz=None,
-        block_threads=device.max_threads_per_block,
+        block_threads=max_threads,
         nominal_blocks_per_sm=min(
-            device.max_threads_per_sm // device.max_threads_per_block,
+            device.max_threads_per_sm // max_threads,
             device.max_blocks_per_sm),
         table_symbolic=2 * t_max,   # first-phase shared try size
         table_numeric=t_max,
@@ -229,6 +324,11 @@ def build_group_table(device: DeviceSpec,
     # at narrow widths a full 512-thread block would hold more per-row
     # tables than shared memory allows; cap rows-per-block at 256
     pwarp_threads = min(PWARP_BLOCK_THREADS, 256 * pwarp_width)
+    # a tuned boundary above the default needs proportionally larger
+    # per-row tables to keep the load factor of Table I; the default
+    # boundary keeps the paper's fixed table even on wide-warp devices
+    pwarp_numeric = (PWARP_TABLE_NUMERIC if ov.pwarp_nnz_max is None
+                     else max(PWARP_TABLE_NUMERIC, next_pow2(pwarp_nnz_max)))
     pwarp = GroupParams(
         gid=tb_groups[-1].gid + 1,
         assignment=ASSIGN_PWARP,
@@ -240,8 +340,8 @@ def build_group_table(device: DeviceSpec,
         nominal_blocks_per_sm=min(
             device.max_threads_per_sm // pwarp_threads,
             device.max_blocks_per_sm),
-        table_symbolic=PWARP_TABLE_SYMBOLIC,
-        table_numeric=PWARP_TABLE_NUMERIC,
+        table_symbolic=max(PWARP_TABLE_SYMBOLIC, 2 * pwarp_numeric),
+        table_numeric=pwarp_numeric,
         pwarp_width=pwarp_width,
     )
 
@@ -253,4 +353,6 @@ def build_group_table(device: DeviceSpec,
             g = GroupParams(**{**g.__dict__,
                                "min_products": 2 * pwarp_nnz_max + 1})
         fixed.append(g)
-    return GroupTable(device_name=device.name, groups=tuple(fixed))
+    return GroupTable(device_name=device.name, groups=tuple(fixed),
+                      hash_scal=(ov.hash_scal if ov.hash_scal is not None
+                                 else HASH_SCAL))

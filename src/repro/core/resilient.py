@@ -201,6 +201,19 @@ class ResilientSpGEMM(SpGEMMAlgorithm):
 
         return create(name, **(self.options if first else {}))
 
+    def apply_param_overrides(self, overrides) -> bool:
+        """Adopt tuned overrides for the *primary* algorithm only.
+
+        Fallback rungs keep the paper's defaults: a tuned config is
+        validated for the primary path, and a degraded retry should not
+        inherit an aggressive configuration on top of a failure.
+        """
+        if not self._make(self.algorithms[0], first=False) \
+                .apply_param_overrides(overrides):
+            return False
+        self.options = {**self.options, "overrides": overrides}
+        return True
+
     def multiply(self, A: CSRMatrix, B: CSRMatrix, *,
                  precision: Precision | str = Precision.DOUBLE,
                  device: DeviceSpec = P100,
@@ -308,7 +321,18 @@ def resilient_spgemm(A: CSRMatrix, B: CSRMatrix, *,
                      device: DeviceSpec = P100, matrix_name: str = "",
                      faults: FaultPlan | None = None,
                      **options) -> SpGEMMResult:
-    """Convenience wrapper: ``ResilientSpGEMM(**options).multiply(...)``."""
+    """Convenience wrapper: ``ResilientSpGEMM(**options).multiply(...)``.
+
+    .. deprecated:: 1.1
+        Use ``repro.multiply(A, B, options=SpGEMMOptions(
+        algorithm="resilient", ...))``; this shim stays bit-identical.
+    """
+    import warnings
+
+    warnings.warn(
+        "resilient_spgemm() is deprecated; use repro.multiply with "
+        "SpGEMMOptions(algorithm='resilient', ...)",
+        DeprecationWarning, stacklevel=2)
     return ResilientSpGEMM(**options).multiply(
         A, B, precision=precision, device=device, matrix_name=matrix_name,
         faults=faults)

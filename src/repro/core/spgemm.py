@@ -26,7 +26,7 @@ from repro.base import SpGEMMAlgorithm, SpGEMMResult
 from repro.core.count_products import count_products_kernel, pass_over_rows_kernel
 from repro.core.grouping import GroupAssignment, group_rows
 from repro.core.numeric import plan_numeric
-from repro.core.params import PWARP_WIDTH, build_group_table
+from repro.core.params import PWARP_WIDTH, ParamOverrides, build_group_table
 from repro.core.symbolic import plan_symbolic
 from repro.gpu.device import P100, DeviceSpec
 from repro.gpu.faults import FaultPlan
@@ -44,19 +44,39 @@ class HashSpGEMM(SpGEMMAlgorithm):
 
     def __init__(self, *, use_streams: bool = True, use_pwarp: bool = True,
                  pwarp_width: int = PWARP_WIDTH,
-                 uniform_tb: bool = False) -> None:
+                 uniform_tb: bool = False,
+                 overrides: "ParamOverrides | dict | None" = None) -> None:
         self.use_streams = use_streams
         self.use_pwarp = use_pwarp
         self.pwarp_width = pwarp_width
         self.uniform_tb = uniform_tb
+        if isinstance(overrides, dict):
+            overrides = ParamOverrides.from_dict(overrides)
+        self.overrides = overrides or ParamOverrides()
 
     def plan_switches(self) -> tuple:
         """Configuration tuple folded into the plan-cache key: any switch
-        that changes grouping or kernels must appear here."""
+        that changes grouping or kernels must appear here.  Tuned
+        overrides are included, so a tuned and an untuned run of the same
+        pattern key different plans."""
         return (("use_streams", self.use_streams),
                 ("use_pwarp", self.use_pwarp),
                 ("pwarp_width", self.pwarp_width),
-                ("uniform_tb", self.uniform_tb))
+                ("uniform_tb", self.uniform_tb),
+                ("overrides", self.overrides.switches()))
+
+    def apply_param_overrides(self, overrides: ParamOverrides) -> bool:
+        """Adopt tuned Table I parameters (the autotuner's injection
+        point); takes effect on the next multiply and on plan-cache keys
+        immediately."""
+        self.overrides = overrides or ParamOverrides()
+        return True
+
+    def _table(self, device: DeviceSpec):
+        """The (possibly tuned) group table driving both phases."""
+        return build_group_table(device, pwarp_width=self.pwarp_width,
+                                 uniform_tb=self.uniform_tb,
+                                 overrides=self.overrides)
 
     def _group(self, counts: np.ndarray, table, metric: str) -> GroupAssignment:
         """Group rows, optionally disabling PWARP/ROW (ablation E9): the
@@ -163,8 +183,7 @@ class HashSpGEMM(SpGEMMAlgorithm):
         n_products = int(row_products.sum())
         ctx.note_stats(n_products=n_products, nnz_out=C.nnz)
 
-        table = build_group_table(device, pwarp_width=self.pwarp_width,
-                                  uniform_tb=self.uniform_tb)
+        table = self._table(device)
 
         # ---- (1)-(2) setup: product counts + symbolic grouping ----
         d_products = ctx.alloc("row_products", 4 * n_rows, phase="setup")
@@ -255,7 +274,18 @@ def hash_spgemm(A: CSRMatrix, B: CSRMatrix, *,
                 device: DeviceSpec = P100, matrix_name: str = "",
                 faults: FaultPlan | None = None,
                 **options) -> SpGEMMResult:
-    """Convenience wrapper: ``HashSpGEMM(**options).multiply(A, B, ...)``."""
+    """Convenience wrapper: ``HashSpGEMM(**options).multiply(A, B, ...)``.
+
+    .. deprecated:: 1.1
+        Use ``repro.multiply(A, B, options=SpGEMMOptions())``; this shim
+        stays bit-identical.
+    """
+    import warnings
+
+    warnings.warn(
+        "hash_spgemm() is deprecated; use repro.multiply with "
+        "SpGEMMOptions(algorithm='proposal', ...)",
+        DeprecationWarning, stacklevel=2)
     return HashSpGEMM(**options).multiply(A, B, precision=precision,
                                           device=device,
                                           matrix_name=matrix_name,

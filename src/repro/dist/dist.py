@@ -114,6 +114,14 @@ class DistSpGEMM(SpGEMMAlgorithm):
     broadcast_cache:
         Keep B resident across multiplies (pattern digest + value
         digest; a value-only change ships just the value array).
+    tune / tune_store:
+        ``tune=True`` autotunes the Table I parameters *per device
+        specification* before each compute wave -- a heterogeneous pool
+        gets one search per distinct device, not one shared config --
+        and injects the winning overrides into every slot's runner.
+        ``tune_store`` is a :class:`~repro.tune.TuningStore` or a path;
+        ``None`` keeps an in-memory store on this driver (repeat
+        multiplies of the same pattern skip the search).
     """
 
     name = "dist"
@@ -122,18 +130,34 @@ class DistSpGEMM(SpGEMMAlgorithm):
                  interconnect: "Interconnect | str" = "pcie",
                  algorithm: "str | SpGEMMAlgorithm" = "proposal",
                  engine: bool = True, broadcast_cache: bool = True,
+                 tune: bool = False, tune_store=None,
                  **algo_options) -> None:
         self.n_devices = int(n_devices)
         self.interconnect = parse_interconnect(interconnect)
         self.algorithm = algorithm
         self.engine = bool(engine)
         self.broadcast_cache = bool(broadcast_cache)
+        self.tune = bool(tune)
+        self._tune_store = tune_store
         self.algo_options = dict(algo_options)
         self._pool = pool
         self._resident_b: tuple[str, str] | None = None
         self.last_partition: Partition | None = None
         self.multiplies = 0
         self.devices_lost = 0
+
+    def apply_param_overrides(self, overrides) -> bool:
+        """Externally-supplied overrides apply to every pool runner.
+
+        Only meaningful on homogeneous pools (one config for all
+        devices); ``tune=True`` is the per-device path.
+        """
+        pool = self._pool
+        if pool is None:
+            return False
+        applied = [s.runner.apply_param_overrides(overrides)
+                   for s in pool.slots]
+        return any(applied)
 
     # -- pool --------------------------------------------------------------
 
@@ -151,7 +175,13 @@ class DistSpGEMM(SpGEMMAlgorithm):
                  precision: Precision | str = Precision.DOUBLE,
                  device: DeviceSpec = P100,
                  matrix_name: str = "",
-                 faults: FaultPlan | None = None) -> SpGEMMResult:
+                 faults: FaultPlan | None = None,
+                 options=None) -> SpGEMMResult:
+        """Scatter-compute-gather multiply; ``options`` (a
+        :class:`~repro.options.SpGEMMOptions`) supplies ``precision``
+        and ``device`` when given."""
+        if options is not None:
+            precision, device = options.precision, options.device
         A, B, p = self._prepare(A, B, precision)
         pool = self.pool(device)
         self.multiplies += 1
@@ -162,6 +192,8 @@ class DistSpGEMM(SpGEMMAlgorithm):
         part = partition_rows(A, B, pool.weights(), p)
         self.last_partition = part
 
+        if self.tune:
+            self._tune_devices(A, B, p, active, clk)
         self._broadcast(B, p, active, clk)
 
         # concurrent compute wave: one panel per device, wall time is the
@@ -273,6 +305,46 @@ class DistSpGEMM(SpGEMMAlgorithm):
             rep.recovered = survivors > 0
             rep.final_algorithm = self.name
             rep.final_strategy = "repartition"
+
+    def _tune_devices(self, A: CSRMatrix, B: CSRMatrix, p: Precision,
+                      active: list[DeviceSlot], clk: _DriverClock) -> None:
+        """Autotune once per distinct device spec; apply to every slot.
+
+        A heterogeneous pool runs one search per distinct device (the
+        K40's winning config is not the VEGA56's); slots sharing a spec
+        share the result.  Search probes run on the driver host against
+        the full instance, off the measured clock -- only the decision
+        events land on the timeline.
+        """
+        from repro.tune.store import TuningStore
+        from repro.tune.tuner import Autotuner
+
+        store = self._tune_store
+        if store is None or isinstance(store, str):
+            store = TuningStore(store)
+            self._tune_store = store
+
+        by_spec: dict[str, object] = {}
+        for slot in active:
+            spec = slot.spec
+            res = by_spec.get(spec.name)
+            if res is None:
+                res = Autotuner(spec, p, store=store).tune(A, B)
+                by_spec[spec.name] = res
+                if res.from_cache:
+                    clk.emit(OBS.TUNE_HIT, res.digest, device=spec.name,
+                             speedup=res.speedup)
+                else:
+                    clk.emit(OBS.TUNE_MISS, res.digest, device=spec.name)
+                    clk.emit(OBS.TUNE_SEARCH, res.digest,
+                             candidates=res.candidates,
+                             measured=res.measured,
+                             default_us=res.default_seconds * 1e6,
+                             tuned_us=res.tuned_seconds * 1e6)
+            if slot.runner.apply_param_overrides(res.overrides):
+                clk.emit(OBS.TUNE_APPLY, res.digest, device=slot.device_id,
+                         overrides=res.overrides.describe(),
+                         speedup=res.speedup, validated=res.validated)
 
     def _broadcast(self, B: CSRMatrix, p: Precision,
                    active: list[DeviceSlot], clk: _DriverClock) -> None:

@@ -2,7 +2,7 @@
 
 :class:`SpGEMMEngine` is itself an :class:`~repro.base.SpGEMMAlgorithm`
 (registry name ``'engine'``), so it drops in anywhere an algorithm does:
-``repro.spgemm(A, B, algorithm='engine')``, the bench runner, the apps.
+``repro.multiply(A, B, algorithm='engine')``, the bench runner, the apps.
 It fronts an inner algorithm (default: the paper's proposal) with a
 pattern-keyed :class:`~repro.engine.cache.PlanCache`:
 
@@ -93,19 +93,35 @@ class SpGEMMEngine(SpGEMMAlgorithm):
         self.passthrough_runs = 0
         self.batch_jobs = 0
 
+    def apply_param_overrides(self, overrides) -> bool:
+        """Forward tuned overrides to the inner algorithm.
+
+        No cache flush is needed: the inner algorithm folds its overrides
+        into ``plan_switches()``, so :func:`~repro.engine.plan.make_key`
+        keys tuned and untuned plans apart automatically.
+        """
+        return self.inner.apply_param_overrides(overrides)
+
     # -- the cached multiply -------------------------------------------------
 
     def multiply(self, A: CSRMatrix, B: CSRMatrix, *,
                  precision: Precision | str = Precision.DOUBLE,
                  device: DeviceSpec = P100,
                  matrix_name: str = "",
-                 faults: FaultPlan | None = None) -> SpGEMMResult:
+                 faults: FaultPlan | None = None,
+                 options=None) -> SpGEMMResult:
         """``C = A @ B`` through the plan cache.
+
+        ``options`` (a :class:`~repro.options.SpGEMMOptions`) supplies
+        ``precision`` and ``device`` when given, so engine call sites
+        share the facade's configuration object.
 
         Fault-injected runs bypass the cache entirely: a plan captured
         under injected faults is not trustworthy, and a replay would
         dodge the very failure the caller asked for.
         """
+        if options is not None:
+            precision, device = options.precision, options.device
         A, B, p = self._prepare(A, B, precision)
         cacheable = (self.enabled and faults is None
                      and self.inner.supports_plan_cache)

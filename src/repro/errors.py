@@ -98,6 +98,22 @@ class AlgorithmError(ReproError):
     """An SpGEMM algorithm was mis-configured or hit an internal invariant."""
 
 
+class UnknownAlgorithmError(AlgorithmError):
+    """A registry lookup named an algorithm that is not registered.
+
+    Carries the requested ``name`` and the tuple of ``available`` registry
+    names, and renders both into the message so a CLI typo is
+    self-explanatory.
+    """
+
+    def __init__(self, name: str, available=()) -> None:
+        self.name = str(name)
+        self.available = tuple(sorted(available))
+        super().__init__(
+            f"unknown algorithm {self.name!r}; available: "
+            f"{list(self.available)}")
+
+
 class PlanMismatchError(AlgorithmError):
     """A cached :class:`repro.engine.plan.SpGEMMPlan` no longer matches its
     operands: the sparsity pattern behind the cache key changed (in-place

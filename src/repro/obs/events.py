@@ -70,6 +70,16 @@ Event kinds
     A pool device dropped out (a :class:`~repro.gpu.faults.FaultPlan`
     device rule fired); ``name`` is the device id; attrs: ``rule``,
     ``survivors``.
+``tune_hit`` / ``tune_miss`` / ``tune_search`` / ``tune_apply``
+    Autotuner traffic of :class:`~repro.tune.TunedSpGEMM`; ``name`` is
+    the sketch digest keying the tuning store.  A ``tune_hit`` reuses a
+    stored config (attrs: ``device``, ``speedup``); a ``tune_miss``
+    precedes a fresh search (attrs: ``device``, or ``reason`` when the
+    inner algorithm exposes no tunable parameters); ``tune_search``
+    summarizes that search (attrs: ``candidates``, ``measured``,
+    ``default_us``, ``tuned_us``); ``tune_apply`` records the adopted
+    config (attrs: ``overrides`` -- its compact string form --
+    ``speedup``, ``validated``).
 """
 
 from __future__ import annotations
@@ -93,11 +103,16 @@ CACHE_EVICT = "cache_evict"
 COMM = "comm_transfer"
 DIST_PANEL = "dist_panel"
 DEVICE_LOST = "device_lost"
+TUNE_HIT = "tune_hit"
+TUNE_MISS = "tune_miss"
+TUNE_SEARCH = "tune_search"
+TUNE_APPLY = "tune_apply"
 
 #: All kinds the pipeline emits (exporters treat unknown kinds as opaque).
 EVENT_KINDS = (KERNEL_LAUNCH, KERNEL_RETIRE, CHARGE, ALLOC, FREE, GROUPING,
                HASH_STATS, FAULT, RUN_ABORT, RESILIENCE, CACHE_HIT,
-               CACHE_MISS, CACHE_EVICT, COMM, DIST_PANEL, DEVICE_LOST)
+               CACHE_MISS, CACHE_EVICT, COMM, DIST_PANEL, DEVICE_LOST,
+               TUNE_HIT, TUNE_MISS, TUNE_SEARCH, TUNE_APPLY)
 
 #: ``source`` values a ``charge`` event may carry.  ``comm`` charges are
 #: interconnect wall time; ``devices`` charges are the critical-path

@@ -39,10 +39,15 @@ ENGINE_TRACK = 1000
 #: Chrome tid of the interconnect track of a distributed run.
 COMM_TRACK = 2000
 
+#: Chrome tid of the autotuner track of a tuned run.
+TUNE_TRACK = 3000
+
 _INSTANT_KINDS = (E.GROUPING, E.HASH_STATS, E.FAULT, E.RUN_ABORT,
                   E.RESILIENCE, E.DIST_PANEL, E.DEVICE_LOST)
 
 _CACHE_KINDS = (E.CACHE_HIT, E.CACHE_MISS, E.CACHE_EVICT)
+
+_TUNE_KINDS = (E.TUNE_HIT, E.TUNE_MISS, E.TUNE_SEARCH, E.TUNE_APPLY)
 
 
 def _us(seconds: float) -> float:
@@ -77,6 +82,9 @@ def chrome_trace(report: "SimReport") -> dict[str, Any]:
     if any(e.kind == E.COMM for e in report.events):
         evs.append({"ph": "M", "pid": pid, "tid": COMM_TRACK,
                     "name": "thread_name", "args": {"name": "interconnect"}})
+    if any(e.kind in _TUNE_KINDS for e in report.events):
+        evs.append({"ph": "M", "pid": pid, "tid": TUNE_TRACK,
+                    "name": "thread_name", "args": {"name": "autotuner"}})
 
     for rec in report.kernels:
         evs.append({"ph": "X", "cat": "kernel", "name": rec.name,
@@ -105,6 +113,10 @@ def chrome_trace(report: "SimReport") -> dict[str, Any]:
         elif e.kind in _CACHE_KINDS:
             evs.append({"ph": "i", "cat": e.kind, "name": e.name,
                         "pid": pid, "tid": ENGINE_TRACK, "ts": _us(e.ts),
+                        "s": "p", "args": dict(e.attrs)})
+        elif e.kind in _TUNE_KINDS:
+            evs.append({"ph": "i", "cat": e.kind, "name": e.name,
+                        "pid": pid, "tid": TUNE_TRACK, "ts": _us(e.ts),
                         "s": "p", "args": dict(e.attrs)})
         elif e.kind == E.COMM:
             evs.append({"ph": "X", "cat": "comm", "name": e.name,
@@ -223,6 +235,15 @@ def trace_summary(report: "SimReport") -> str:
     if cache:
         lines += ["", "[plan_cache]"]
         for e in cache:
+            attrs = " ".join(f"{k}={e.attrs[k]}" for k in sorted(e.attrs))
+            lines.append(f"{e.kind} {e.name} {attrs}".rstrip())
+
+    tune = [e for e in report.events if e.kind in _TUNE_KINDS]
+    if tune:
+        # conditional section: untuned runs (all pre-tune goldens) render
+        # byte-identically to before
+        lines += ["", "[tune]"]
+        for e in tune:
             attrs = " ".join(f"{k}={e.attrs[k]}" for k in sorted(e.attrs))
             lines.append(f"{e.kind} {e.name} {attrs}".rstrip())
 

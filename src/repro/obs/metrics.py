@@ -293,6 +293,23 @@ def metrics_from_report(report: "SimReport") -> MetricsRegistry:
             reg.counter("dist_device_lost_total",
                         "pool devices dropped mid-run").inc(
                 1, device=e.name)
+        elif e.kind in (E.TUNE_HIT, E.TUNE_MISS, E.TUNE_SEARCH,
+                        E.TUNE_APPLY):
+            reg.counter("tune_events_total",
+                        "autotuner traffic seen by this run").inc(
+                1, event=e.kind.removeprefix("tune_"))
+            if e.kind == E.TUNE_SEARCH:
+                reg.counter("tune_candidates_total",
+                            "configurations scored by the cost model").inc(
+                    e.attrs.get("candidates", 0))
+                reg.counter("tune_measured_total",
+                            "configurations measured end-to-end").inc(
+                    e.attrs.get("measured", 0))
+            elif e.kind == E.TUNE_APPLY:
+                reg.gauge("tune_speedup",
+                          "default/tuned modeled-time ratio of the "
+                          "applied config").set(
+                    e.attrs.get("speedup", 1.0), sketch=e.name)
     return reg
 
 

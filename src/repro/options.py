@@ -1,0 +1,218 @@
+"""The unified public API: :class:`SpGEMMOptions` and :func:`multiply`.
+
+Historically every layer grew its own keyword surface -- ``spgemm()``
+took ``algorithm=`` plus constructor kwargs, the engine and the
+distributed driver their own flags, the CLI a third spelling.  This
+module is the single place those choices live now:
+
+* :class:`SpGEMMOptions` -- one frozen value object describing *how* to
+  multiply: algorithm, device, precision, engine fronting, resilience
+  ladder, distribution and autotuning;
+* :func:`runner_for` -- compiles an options object into the matching
+  runner chain (dist / resilient / engine / tuner / plain algorithm);
+* :func:`multiply` -- the one-call facade:
+  ``repro.multiply(A, B, options=SpGEMMOptions(algorithm="tune"))``.
+
+The legacy entry points (``repro.spgemm``, ``hash_spgemm``,
+``resilient_spgemm``) survive as thin deprecation shims that build an
+options object and defer here, so old call sites keep producing
+bit-identical results while new code migrates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields, replace
+
+from repro.base import SpGEMMAlgorithm, SpGEMMResult
+from repro.gpu.device import P100, DeviceSpec
+from repro.gpu.faults import FaultPlan
+from repro.sparse.csr import CSRMatrix
+from repro.types import Precision
+
+
+@dataclass(frozen=True)
+class SpGEMMOptions:
+    """Everything configurable about one SpGEMM, in one immutable object.
+
+    Field groups (all optional; the default object reproduces
+    ``spgemm(A, B)`` exactly):
+
+    algorithm / precision / device
+        The registry algorithm name, 'single' | 'double' (or a
+        :class:`~repro.types.Precision`) and the
+        :class:`~repro.gpu.device.DeviceSpec` to simulate.
+    engine / cache_budget_bytes
+        ``engine=True`` fronts the algorithm with the plan-cached
+        :class:`~repro.engine.SpGEMMEngine`; ``None`` means "auto" (on
+        for distributed runs, off otherwise).  ``cache_budget_bytes``
+        caps the plan cache's device memory.
+    resilient / memory_budget / max_panels
+        ``resilient=True`` (or any ``memory_budget``, in bytes) wraps
+        the run in the degradation ladder, keeping the chosen algorithm
+        first in the fallback chain.
+    devices / interconnect
+        ``devices`` distributes over a pool: an int (replicas of
+        ``device``) or a tuple of preset names (heterogeneous).
+    tune / tune_store / tune_top_k
+        ``tune=True`` autotunes the proposal's Table I parameters per
+        device before running; ``tune_store`` (a
+        :class:`~repro.tune.TuningStore` or a path) persists tuned
+        configs across processes.
+    algo_options
+        Extra constructor kwargs for the algorithm (ablation switches
+        like ``use_streams=False``, a :class:`~repro.core.params.
+        ParamOverrides` via ``overrides=...``).
+    """
+
+    algorithm: str = "proposal"
+    precision: "Precision | str" = Precision.DOUBLE
+    device: DeviceSpec = P100
+    engine: bool | None = None
+    cache_budget_bytes: int | None = None
+    resilient: bool = False
+    memory_budget: int | None = None
+    max_panels: int = 256
+    devices: "int | tuple[str, ...] | None" = None
+    interconnect: str = "pcie"
+    tune: bool = False
+    tune_store: object = None
+    tune_top_k: int = 3
+    algo_options: dict = field(default_factory=dict)
+
+    def __post_init__(self):
+        # normalize early so equality/compile behave predictably
+        object.__setattr__(self, "precision", Precision.parse(self.precision))
+        if isinstance(self.devices, (list, tuple)):
+            object.__setattr__(self, "devices",
+                               tuple(str(d) for d in self.devices))
+        object.__setattr__(self, "algo_options", dict(self.algo_options))
+
+    def with_options(self, **changes) -> "SpGEMMOptions":
+        """A copy with the given fields replaced (frozen-friendly)."""
+        return replace(self, **changes)
+
+    def describe(self) -> str:
+        """Compact ``field=value`` form of the non-default fields."""
+        default = SpGEMMOptions()
+        parts = []
+        for f in fields(self):
+            v = getattr(self, f.name)
+            if v != getattr(default, f.name):
+                if f.name == "precision":
+                    v = v.value
+                elif f.name == "device":
+                    v = v.name
+                parts.append(f"{f.name}={v}")
+        return " ".join(parts) or "default"
+
+
+def _resilient_options(o: SpGEMMOptions) -> dict:
+    """Constructor kwargs for the resilience ladder under ``o``."""
+    opts = dict(o.algo_options)
+    if o.algorithm not in ("resilient",):
+        # keep the chosen algorithm first in the fallback chain
+        opts.setdefault("algorithms", (o.algorithm, "cusparse")
+                        if o.algorithm != "cusparse"
+                        else ("cusparse", "proposal"))
+    opts.setdefault("max_panels", o.max_panels)
+    if o.memory_budget is not None:
+        opts.setdefault("memory_budget", int(o.memory_budget))
+    return opts
+
+
+def runner_for(options: SpGEMMOptions) -> SpGEMMAlgorithm:
+    """Compile an options object into its runner chain.
+
+    Composition order (outermost first): distribution > tuning >
+    resilience > engine > algorithm.  The distributed driver owns its
+    own per-device tuning and engines, so ``devices`` short-circuits the
+    rest of the chain.  Unknown algorithm names raise
+    :class:`~repro.errors.UnknownAlgorithmError`.
+    """
+    from repro.baselines.registry import create
+    from repro.dist import DevicePool, DistSpGEMM
+    from repro.engine import SpGEMMEngine
+    from repro.tune.store import TuningStore
+    from repro.tune.tuned import TunedSpGEMM
+
+    o = options
+    # -- distributed: the driver composes engine + tuning itself --------
+    if o.devices is not None:
+        engine_on = True if o.engine is None else bool(o.engine)
+        # algorithm="dist" names the driver, not the per-device compute
+        inner = "proposal" if o.algorithm == "dist" else o.algorithm
+        dist_kw = dict(interconnect=o.interconnect, algorithm=inner,
+                       engine=engine_on, tune=o.tune,
+                       tune_store=o.tune_store, **o.algo_options)
+        if isinstance(o.devices, tuple):
+            pool = DevicePool.from_names(list(o.devices), algorithm=inner,
+                                         engine=engine_on, **o.algo_options)
+            return DistSpGEMM(pool=pool, **dist_kw)
+        return DistSpGEMM(n_devices=int(o.devices), **dist_kw)
+    if o.algorithm == "dist":
+        # legacy spelling: dist kwargs may live in algo_options, so the
+        # facade fields only fill the gaps
+        kw = dict(o.algo_options)
+        kw.setdefault("interconnect", o.interconnect)
+        kw.setdefault("tune", o.tune)
+        kw.setdefault("tune_store", o.tune_store)
+        if o.engine is not None:
+            kw.setdefault("engine", bool(o.engine))
+        return create("dist", **kw)
+
+    # -- single device: resilience / engine / plain ----------------------
+    if o.resilient or o.memory_budget is not None or o.algorithm == "resilient":
+        runner: SpGEMMAlgorithm = create("resilient", **_resilient_options(o))
+    elif o.algorithm == "engine":
+        kw = dict(o.algo_options)
+        if o.cache_budget_bytes is not None:
+            kw.setdefault("cache_budget_bytes", o.cache_budget_bytes)
+        runner = SpGEMMEngine(**kw)
+    elif o.algorithm == "tune":
+        store = o.tune_store if isinstance(o.tune_store, TuningStore) else None
+        path = o.tune_store if isinstance(o.tune_store, str) else None
+        return TunedSpGEMM(engine=bool(o.engine), store=store,
+                           store_path=path, top_k=o.tune_top_k,
+                           **o.algo_options)
+    else:
+        runner = create(o.algorithm, **o.algo_options)
+    if o.engine and not isinstance(runner, SpGEMMEngine):
+        kw = {}
+        if o.cache_budget_bytes is not None:
+            kw["cache_budget_bytes"] = o.cache_budget_bytes
+        runner = SpGEMMEngine(runner, **kw)
+
+    if o.tune:
+        store = o.tune_store if isinstance(o.tune_store, TuningStore) else None
+        path = o.tune_store if isinstance(o.tune_store, str) else None
+        runner = TunedSpGEMM(algorithm=runner, store=store, store_path=path,
+                             top_k=o.tune_top_k)
+    return runner
+
+
+def multiply(A: CSRMatrix, B: CSRMatrix,
+             options: SpGEMMOptions | None = None, *,
+             matrix_name: str = "", faults: FaultPlan | None = None,
+             **option_fields) -> SpGEMMResult:
+    """``C = A @ B`` -- the one public entry point.
+
+    Pass a ready :class:`SpGEMMOptions`, or its fields directly::
+
+        repro.multiply(A, B, options=SpGEMMOptions(algorithm="tune"))
+        repro.multiply(A, B, algorithm="cusparse", precision="single")
+
+    ``matrix_name`` labels reports and ``faults`` injects a
+    deterministic :class:`~repro.gpu.faults.FaultPlan`; both are
+    per-call, not per-configuration, which is why they stay out of the
+    options object.
+    """
+    if options is None:
+        options = SpGEMMOptions(**option_fields)
+    elif option_fields:
+        raise TypeError(
+            "pass either options= or option fields, not both "
+            f"(got both options and {sorted(option_fields)})")
+    runner = runner_for(options)
+    return runner.multiply(A, B, precision=options.precision,
+                           device=options.device, matrix_name=matrix_name,
+                           faults=faults)

@@ -1,0 +1,99 @@
+"""Persistent store of tuned configurations.
+
+One JSON file holds every tuned config, keyed by
+``device|precision|sketch-digest``: a config tuned for the Protein
+pattern on the K40 is reused whenever the same structure is multiplied
+on the same device again, and never leaks to other devices or patterns.
+``path=None`` keeps the store in memory (the default for library use;
+the CLI's ``--tune-store`` flag provides a path).
+
+Writes are atomic (temp file + ``os.replace``) so a crashed run never
+leaves a truncated store, and any schema mismatch or undecodable file is
+treated as empty -- stale caches invalidate themselves instead of
+poisoning future runs.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+
+from repro.core.params import ParamOverrides
+
+#: Bump when the entry layout or the objective changes incompatibly;
+#: stores written under any other schema are discarded on load.
+STORE_SCHEMA = 1
+
+
+class TuningStore:
+    """Mapping ``(device, precision, digest) -> tuned entry``.
+
+    Entries are plain dicts (JSON-representable): ``overrides`` (the
+    :meth:`~repro.core.params.ParamOverrides.to_dict` form), ``speedup``,
+    ``default_seconds``, ``tuned_seconds`` and ``validated``.
+    """
+
+    def __init__(self, path: str | None = None) -> None:
+        self.path = path
+        self.entries: dict[str, dict] = {}
+        if path is not None:
+            self._load()
+
+    @staticmethod
+    def key(device_name: str, precision: str, digest: str) -> str:
+        return f"{device_name}|{precision}|{digest}"
+
+    def _load(self) -> None:
+        try:
+            with open(self.path, encoding="utf-8") as fh:
+                data = json.load(fh)
+        except (OSError, ValueError):
+            return
+        if not isinstance(data, dict) or data.get("schema") != STORE_SCHEMA:
+            return                      # stale or foreign file: start fresh
+        entries = data.get("entries")
+        if isinstance(entries, dict):
+            self.entries = {str(k): dict(v) for k, v in entries.items()
+                            if isinstance(v, dict)}
+
+    def save(self) -> None:
+        """Persist to ``path`` atomically (no-op for in-memory stores)."""
+        if self.path is None:
+            return
+        payload = {"schema": STORE_SCHEMA, "entries": self.entries}
+        d = os.path.dirname(os.path.abspath(self.path)) or "."
+        fd, tmp = tempfile.mkstemp(prefix=".tune-", dir=d)
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                json.dump(payload, fh, indent=1, sort_keys=True)
+                fh.write("\n")
+            os.replace(tmp, self.path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    def get(self, device_name: str, precision: str, digest: str) -> dict | None:
+        return self.entries.get(self.key(device_name, precision, digest))
+
+    def put(self, device_name: str, precision: str, digest: str,
+            entry: dict) -> None:
+        self.entries[self.key(device_name, precision, digest)] = dict(entry)
+        self.save()
+
+    def overrides_of(self, entry: dict) -> ParamOverrides:
+        """Decode an entry's stored overrides (default on bad data)."""
+        try:
+            return ParamOverrides.from_dict(entry.get("overrides", {}))
+        except (TypeError, ValueError):
+            return ParamOverrides()
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def clear(self) -> None:
+        self.entries.clear()
+        self.save()

@@ -1,0 +1,262 @@
+"""The search: score candidates analytically, measure the best, validate.
+
+Three stages, cheap to expensive:
+
+1. *Score* -- every candidate :class:`~repro.core.params.ParamOverrides`
+   in :func:`candidate_space` is evaluated by :func:`modeled_total`: the
+   sketch's reconstructed per-row arrays are grouped and planned by the
+   production planners (:func:`~repro.core.symbolic.plan_symbolic`,
+   :func:`~repro.core.numeric.plan_numeric`) and the kernels costed by
+   :func:`~repro.gpu.cost.kernel_duration_alone` -- concurrent streams
+   modeled as the max over per-stream sums, the Group-0 retry serial.
+   Infeasible candidates (a :class:`~repro.errors.DeviceConfigError` from
+   the table builder) score infinity.
+2. *Measure* -- the paper's default plus the ``top_k`` best-scoring
+   candidates run a real :class:`~repro.core.spgemm.HashSpGEMM` multiply;
+   the full event-scheduler figure (``report.total_seconds``) decides.
+3. *Validate* -- the winner's output is checked against the reference
+   oracle.  A tuned config that is not strictly faster than the default,
+   or that fails validation, is discarded in favor of the default -- so
+   ``tuned_seconds <= default_seconds`` always holds (the regression gate
+   relies on this invariant).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.grouping import group_rows
+from repro.core.numeric import plan_numeric
+from repro.core.params import ParamOverrides, build_group_table, pow2_floor
+from repro.core.symbolic import plan_symbolic
+from repro.errors import AlgorithmError, DeviceConfigError
+from repro.gpu.cost import kernel_duration_alone
+from repro.gpu.device import DeviceSpec
+from repro.sparse.csr import CSRMatrix
+from repro.sparse.reference import spgemm_reference
+from repro.tune.sketch import MatrixSketch, sketch_matrix
+from repro.tune.store import TuningStore
+from repro.types import Precision
+
+#: How many top-scoring non-default candidates get a real measurement.
+DEFAULT_TOP_K = 3
+
+
+@dataclass(frozen=True)
+class TuneResult:
+    """Outcome of one tuning run (or one store hit)."""
+
+    overrides: ParamOverrides
+    default_seconds: float        #: measured modeled time, paper defaults
+    tuned_seconds: float          #: measured modeled time, winning config
+    objective_seconds: float      #: winner's analytic (sketch) score
+    candidates: int               #: configs scored analytically
+    measured: int                 #: configs measured with real multiplies
+    validated: bool               #: winner matched the reference oracle
+    digest: str                   #: sketch digest (the store key part)
+    from_cache: bool = False      #: served from the tuning store
+
+    @property
+    def speedup(self) -> float:
+        """Modeled default/tuned ratio (>= 1.0 by construction)."""
+        if self.tuned_seconds <= 0:
+            return 1.0
+        return self.default_seconds / self.tuned_seconds
+
+    def entry(self) -> dict:
+        """JSON-representable store entry."""
+        return {
+            "overrides": self.overrides.to_dict(),
+            "default_seconds": self.default_seconds,
+            "tuned_seconds": self.tuned_seconds,
+            "objective_seconds": self.objective_seconds,
+            "candidates": self.candidates,
+            "measured": self.measured,
+            "validated": self.validated,
+            "speedup": self.speedup,
+        }
+
+    @classmethod
+    def from_entry(cls, entry: dict, digest: str) -> "TuneResult":
+        """Decode a store entry (tolerating missing fields)."""
+        return cls(
+            overrides=ParamOverrides.from_dict(entry.get("overrides", {})),
+            default_seconds=float(entry.get("default_seconds", 0.0)),
+            tuned_seconds=float(entry.get("tuned_seconds", 0.0)),
+            objective_seconds=float(entry.get("objective_seconds", 0.0)),
+            candidates=int(entry.get("candidates", 0)),
+            measured=int(entry.get("measured", 0)),
+            validated=bool(entry.get("validated", False)),
+            digest=digest,
+            from_cache=True,
+        )
+
+
+class _SketchRows:
+    """Adapter giving the planners the one thing they read off ``A``."""
+
+    def __init__(self, row_nnz_a):
+        self._nnz = row_nnz_a
+
+    def row_nnz(self):
+        return self._nnz
+
+
+def candidate_space(device: DeviceSpec) -> list[ParamOverrides]:
+    """The Table I search grid for ``device``.
+
+    Each axis includes ``None`` = "keep the Section III-D value", so the
+    all-default :class:`ParamOverrides` is always candidate 0 and every
+    candidate carries only its *deviations* (keeping plan-cache keys and
+    store entries minimal).  ``hash_scal`` is not searched: the cost
+    model is multiplier-invariant, so no candidate could win on it.
+    """
+    warp = device.warp_size
+    t_max = pow2_floor(max(1, device.max_shared_per_block // 12))
+    threads = device.max_threads_per_block
+
+    t_axis = [None, t_max // 2, t_max // 4]
+    width_axis = [None] + [w for w in (2, 8) if 1 <= w <= warp]
+    boundary_axis = [None] + [b for b in (warp // 4, warp)
+                              if b >= 1 and b != warp // 2]
+    threads_axis = [None] + [t for t in (threads // 2, threads // 4)
+                             if t >= warp]
+
+    out, seen = [], set()
+    for t in t_axis:
+        for w in width_axis:
+            for b in boundary_axis:
+                for bt in threads_axis:
+                    ov = ParamOverrides(t_max=t, pwarp_width=w,
+                                        pwarp_nnz_max=b, max_block_threads=bt)
+                    if ov.switches() not in seen:
+                        seen.add(ov.switches())
+                        out.append(ov)
+    return out
+
+
+def _stream_makespan(kernels, device: DeviceSpec, precision: Precision) -> float:
+    """Phase makespan under concurrent streams: kernels on the same
+    stream serialize, distinct streams overlap -- the max over per-stream
+    sums (the analytic analogue of the event scheduler's stream model)."""
+    per_stream: dict[int, float] = {}
+    for k in kernels:
+        per_stream[k.stream] = (per_stream.get(k.stream, 0.0)
+                                + kernel_duration_alone(k, device, precision))
+    return max(per_stream.values(), default=0.0)
+
+
+def modeled_total(sketch: MatrixSketch, device: DeviceSpec,
+                  precision: Precision | str,
+                  overrides: ParamOverrides) -> float:
+    """Analytic objective: modeled count+calc seconds on the sketch.
+
+    Returns ``inf`` for infeasible configurations, so callers can rank
+    without special-casing.
+    """
+    p = Precision.parse(precision)
+    try:
+        table = build_group_table(device, overrides=overrides)
+    except DeviceConfigError:
+        return float("inf")
+    nnz_a, nprod, nnz_out = sketch.reconstruct()
+    shim = _SketchRows(nnz_a)
+    try:
+        sym_groups = group_rows(nprod, table, "products")
+        num_groups = group_rows(nnz_out, table, "nnz")
+        sym = plan_symbolic(shim, sym_groups, nprod, nnz_out, device)
+        num = plan_numeric(shim, num_groups, nprod, nnz_out, p, device)
+        total = (_stream_makespan(sym.kernels, device, p)
+                 + _stream_makespan(num.kernels, device, p))
+        if sym.retry_kernel is not None:
+            total += kernel_duration_alone(sym.retry_kernel, device, p)
+    except (AlgorithmError, DeviceConfigError):
+        # uncovered count range, or a kernel that exceeds a device limit
+        # (e.g. a wide PWARP boundary overflowing shared memory)
+        return float("inf")
+    return total
+
+
+class Autotuner:
+    """Searches the Table I space for one ``(matrix, device, precision)``.
+
+    ``store`` (a :class:`~repro.tune.store.TuningStore`) short-circuits
+    repeat instances; ``None`` tunes from scratch every call.
+    """
+
+    def __init__(self, device: DeviceSpec, precision: Precision | str, *,
+                 store: TuningStore | None = None,
+                 top_k: int = DEFAULT_TOP_K) -> None:
+        self.device = device
+        self.precision = Precision.parse(precision)
+        self.store = store
+        self.top_k = max(1, int(top_k))
+
+    def _measure(self, A: CSRMatrix, B: CSRMatrix, ov: ParamOverrides,
+                 matrix_name: str):
+        """One real multiply under ``ov``; ``(seconds, result)`` or
+        ``(inf, None)`` when the config cannot run at all."""
+        from repro.core.spgemm import HashSpGEMM
+
+        algo = HashSpGEMM(overrides=ov)
+        try:
+            res = algo.multiply(A, B, precision=self.precision,
+                                device=self.device, matrix_name=matrix_name)
+        except (DeviceConfigError, AlgorithmError):
+            return float("inf"), None
+        return res.report.total_seconds, res
+
+    def tune(self, A: CSRMatrix, B: CSRMatrix, *,
+             matrix_name: str = "") -> TuneResult:
+        """Full search (or store hit) for one instance."""
+        sketch = sketch_matrix(A, B)
+        digest = sketch.digest()
+        if self.store is not None:
+            entry = self.store.get(self.device.name, self.precision.value,
+                                   digest)
+            if entry is not None:
+                return TuneResult.from_entry(entry, digest)
+
+        candidates = candidate_space(self.device)
+        scored = [(modeled_total(sketch, self.device, self.precision, ov), ov)
+                  for ov in candidates]
+        default_score = scored[0][0]
+        ranked = sorted((s for s in scored[1:] if s[0] < float("inf")),
+                        key=lambda s: s[0])
+
+        default_seconds, default_res = self._measure(A, B, ParamOverrides(),
+                                                     matrix_name)
+        best_ov, best_seconds, best_score, best_res = (
+            ParamOverrides(), default_seconds, default_score, default_res)
+        measured = 1
+        for score, ov in ranked[:self.top_k]:
+            seconds, res = self._measure(A, B, ov, matrix_name)
+            measured += 1
+            if seconds < best_seconds:
+                best_ov, best_seconds, best_score, best_res = (
+                    ov, seconds, score, res)
+
+        validated = True
+        if not best_ov.is_default() and best_res is not None:
+            ref = spgemm_reference(A, B)
+            rtol = 1e-9 if self.precision is Precision.DOUBLE else 1e-4
+            validated = best_res.matrix.canonicalize().allclose(ref, rtol=rtol)
+            if not validated:
+                # never ship a config the oracle rejects
+                best_ov, best_seconds, best_score = (
+                    ParamOverrides(), default_seconds, default_score)
+
+        result = TuneResult(
+            overrides=best_ov,
+            default_seconds=default_seconds,
+            tuned_seconds=best_seconds,
+            objective_seconds=best_score,
+            candidates=len(candidates),
+            measured=measured,
+            validated=validated,
+            digest=digest,
+        )
+        if self.store is not None:
+            self.store.put(self.device.name, self.precision.value, digest,
+                           result.entry())
+        return result

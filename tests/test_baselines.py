@@ -135,10 +135,10 @@ class TestBHSparseStructure:
 class TestRegistry:
     def test_all_registered(self):
         assert set(ALGORITHMS) == {"proposal", "cusp", "cusparse", "bhsparse",
-                                   "resilient", "engine", "dist"}
+                                   "resilient", "engine", "dist", "tune"}
         # the display order stays the paper's four-way comparison
         assert set(DISPLAY_ORDER) == set(ALGORITHMS) - {"resilient", "engine",
-                                                        "dist"}
+                                                        "dist", "tune"}
 
     def test_create_unknown(self):
         with pytest.raises(AlgorithmError, match="unknown algorithm"):

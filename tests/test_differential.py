@@ -88,10 +88,10 @@ def test_rectangular(algo, rng):
     _check(algo, A, B)
 
 
-# 'resilient' and 'engine' are wrappers: their reports carry the inner
-# algorithm's name
+# 'resilient', 'engine' and 'tune' are wrappers: their reports carry the
+# inner algorithm's name
 @pytest.mark.parametrize("algo", sorted(set(ALL_ALGOS) - {"resilient",
-                                                          "engine"}))
+                                                          "engine", "tune"}))
 def test_report_flops_metric(algo, rng):
     A = generators.stencil_regular(300, 4, rng=rng)
     r = repro.spgemm(A, A, algorithm=algo).report

@@ -1,0 +1,57 @@
+"""The deprecated-entry-point lint: clean tree, and it actually bites.
+
+``tools/check_deprecated.py`` is the CI step that keeps internal code on
+``repro.multiply``; this suite runs it against the real tree (must be
+clean) and against a synthetic tree with violations (must flag exactly
+the calls, not the ``def`` lines, doc spellings or comments).
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "tools"))
+
+import check_deprecated  # noqa: E402
+
+
+def test_repo_tree_is_clean():
+    assert check_deprecated.offending_lines(REPO_ROOT) == []
+
+
+def test_lint_flags_real_calls(tmp_path):
+    pkg = tmp_path / "src" / "repro" / "sub"
+    pkg.mkdir(parents=True)
+    (pkg / "bad.py").write_text(
+        "import repro\n"
+        "r1 = repro.spgemm(A, B)\n"
+        "r2 = hash_spgemm(A, B)\n"
+        "r3 = resilient_spgemm(A, B)\n")
+    hits = check_deprecated.offending_lines(tmp_path)
+    assert len(hits) == 3
+    assert all(h.startswith("src/repro/sub/bad.py") for h in hits)
+
+
+def test_lint_skips_defs_docs_comments_and_allowlist(tmp_path):
+    pkg = tmp_path / "src" / "repro"
+    pkg.mkdir(parents=True)
+    (pkg / "ok.py").write_text(
+        "def spgemm(A, B):\n"
+        "    '''``spgemm(A, B)`` documented spelling.'''\n"
+        "    # spgemm(A, B) in a comment\n"
+        "    return None\n")
+    # the shim module itself may call/define whatever it wants
+    (pkg / "__init__.py").write_text("r = spgemm(A, B)\n")
+    assert check_deprecated.offending_lines(tmp_path) == []
+
+
+def test_cli_entry_returns_nonzero_on_hits(tmp_path, capsys):
+    pkg = tmp_path / "src" / "repro"
+    pkg.mkdir(parents=True)
+    (pkg / "bad.py").write_text("r = hash_spgemm(A, B)\n")
+    assert check_deprecated.main([str(tmp_path)]) == 1
+    assert "DEPRECATED CALL" in capsys.readouterr().err
+    (pkg / "bad.py").write_text("r = multiply(A, B)\n")
+    assert check_deprecated.main([str(tmp_path)]) == 0

@@ -1,0 +1,180 @@
+"""The unified facade: SpGEMMOptions, repro.multiply and the shims.
+
+Pins the API-redesign contract: the options path produces bit-identical
+results to the legacy kwarg spellings for every registered algorithm,
+the legacy entry points emit :class:`DeprecationWarning` (and nothing
+else changes), and the facade composes engine / resilience /
+distribution / tuning the same way the dedicated constructors do.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro
+from repro import SpGEMMOptions, multiply, runner_for
+from repro.baselines.registry import ALGORITHMS
+from repro.core.resilient import ResilientSpGEMM, resilient_spgemm
+from repro.core.spgemm import HashSpGEMM, hash_spgemm
+from repro.dist import DistSpGEMM
+from repro.engine import SpGEMMEngine
+from repro.errors import UnknownAlgorithmError
+from repro.sparse import generators
+from repro.tune.tuned import TunedSpGEMM
+
+
+@pytest.fixture(scope="module")
+def A():
+    return generators.power_law(300, 8, 60, rng=11)
+
+
+def _same(r1, r2, rtol=1e-12):
+    a, b = r1.matrix.canonicalize(), r2.matrix.canonicalize()
+    assert np.array_equal(a.rpt, b.rpt)
+    assert np.array_equal(a.col, b.col)
+    np.testing.assert_allclose(a.val, b.val, rtol=rtol)
+
+
+# -- options path == legacy path, per algorithm -----------------------------
+
+@pytest.mark.parametrize("name", sorted(ALGORITHMS))
+def test_options_round_trip_bit_identical(A, name):
+    via_options = multiply(A, A, options=SpGEMMOptions(algorithm=name))
+    with pytest.warns(DeprecationWarning):
+        via_legacy = repro.spgemm(A, A, algorithm=name)
+    _same(via_options, via_legacy)
+
+
+@pytest.mark.parametrize("name", sorted(ALGORITHMS))
+def test_multiply_works_for_every_registered_algorithm(A, name):
+    res = multiply(A, A, options=SpGEMMOptions(algorithm=name))
+    assert res.matrix.nnz > 0
+    assert res.report.total_seconds > 0.0
+
+
+def test_option_fields_spelling_matches_options_object(A):
+    _same(multiply(A, A, algorithm="cusparse", precision="single"),
+          multiply(A, A, options=SpGEMMOptions(algorithm="cusparse",
+                                               precision="single")))
+
+
+def test_options_and_fields_together_is_an_error(A):
+    with pytest.raises(TypeError, match="not both"):
+        multiply(A, A, options=SpGEMMOptions(), algorithm="cusp")
+
+
+# -- deprecation shims ------------------------------------------------------
+
+def test_spgemm_shim_warns_and_matches(A):
+    with pytest.warns(DeprecationWarning, match="repro.multiply"):
+        legacy = repro.spgemm(A, A)
+    _same(legacy, multiply(A, A))
+
+
+def test_spgemm_with_options_does_not_warn(A, recwarn):
+    res = repro.spgemm(A, A, options=SpGEMMOptions(algorithm="cusparse"))
+    assert not [w for w in recwarn.list
+                if issubclass(w.category, DeprecationWarning)]
+    assert res.report.algorithm == "cusparse"
+
+
+def test_hash_spgemm_shim_warns_and_matches(A):
+    with pytest.warns(DeprecationWarning, match="deprecated"):
+        legacy = hash_spgemm(A, A)
+    _same(legacy, multiply(A, A))
+
+
+def test_resilient_spgemm_shim_warns_and_matches(A):
+    with pytest.warns(DeprecationWarning, match="deprecated"):
+        legacy = resilient_spgemm(A, A)
+    _same(legacy, multiply(A, A, options=SpGEMMOptions(resilient=True)))
+
+
+# -- runner composition -----------------------------------------------------
+
+def test_runner_for_plain_algorithm():
+    assert isinstance(runner_for(SpGEMMOptions()), HashSpGEMM)
+
+
+def test_runner_for_engine_wrap():
+    r = runner_for(SpGEMMOptions(engine=True))
+    assert isinstance(r, SpGEMMEngine)
+    assert isinstance(r.inner, HashSpGEMM)
+
+
+def test_runner_for_resilient_keeps_chosen_algorithm_first():
+    r = runner_for(SpGEMMOptions(algorithm="cusp", resilient=True))
+    assert isinstance(r, ResilientSpGEMM)
+    assert r.algorithms[0] == "cusp"
+
+
+def test_runner_for_memory_budget_implies_resilient():
+    r = runner_for(SpGEMMOptions(memory_budget=1 << 20))
+    assert isinstance(r, ResilientSpGEMM)
+    assert r.memory_budget == 1 << 20
+
+
+def test_runner_for_devices_builds_dist():
+    r = runner_for(SpGEMMOptions(devices=2))
+    assert isinstance(r, DistSpGEMM)
+    hetero = runner_for(SpGEMMOptions(devices=("P100", "K40")))
+    assert isinstance(hetero, DistSpGEMM)
+    assert len(hetero.pool().slots) == 2
+
+
+def test_runner_for_tune_wraps():
+    r = runner_for(SpGEMMOptions(tune=True))
+    assert isinstance(r, TunedSpGEMM)
+    assert isinstance(r.inner, HashSpGEMM)
+    r2 = runner_for(SpGEMMOptions(tune=True, engine=True))
+    assert isinstance(r2, TunedSpGEMM)
+    assert isinstance(r2.inner, SpGEMMEngine)
+
+
+def test_options_normalizes_precision_and_devices():
+    o = SpGEMMOptions(precision="single", devices=["P100", "K40"])
+    assert o.precision is repro.Precision.SINGLE
+    assert o.devices == ("P100", "K40")
+
+
+def test_options_frozen_and_with_options():
+    o = SpGEMMOptions()
+    with pytest.raises(AttributeError):
+        o.algorithm = "cusp"
+    o2 = o.with_options(algorithm="cusp")
+    assert o2.algorithm == "cusp" and o.algorithm == "proposal"
+    assert "cusp" in o2.describe() and o.describe() == "default"
+
+
+def test_dispatch_accepts_options(A):
+    from repro.apps._dispatch import multiply as app_multiply
+
+    res = app_multiply(A, A, options=SpGEMMOptions(algorithm="cusparse"))
+    assert res.report.algorithm == "cusparse"
+    _same(res, multiply(A, A, options=SpGEMMOptions(algorithm="cusparse")))
+
+
+def test_engine_and_dist_multiply_accept_options(A):
+    o = SpGEMMOptions(precision="single")
+    eng = SpGEMMEngine()
+    assert eng.multiply(A, A, options=o).report.precision == "single"
+    dist = DistSpGEMM(n_devices=2)
+    assert dist.multiply(A, A, options=o).report.precision == "single"
+
+
+# -- typed registry errors --------------------------------------------------
+
+def test_unknown_algorithm_error_lists_names():
+    from repro.baselines.registry import create
+
+    with pytest.raises(UnknownAlgorithmError) as ei:
+        create("nope")
+    assert ei.value.name == "nope"
+    assert set(ei.value.available) == set(ALGORITHMS)
+    assert "proposal" in str(ei.value)
+
+
+def test_multiply_raises_unknown_algorithm(A):
+    with pytest.raises(UnknownAlgorithmError):
+        multiply(A, A, options=SpGEMMOptions(algorithm="nope"))

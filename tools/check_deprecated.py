@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Fail CI when internal code calls a deprecated SpGEMM entry point.
+
+The legacy entry points -- ``repro.spgemm()``, ``hash_spgemm()`` and
+``resilient_spgemm()`` -- survive as :class:`DeprecationWarning` shims
+for external callers, but nothing *inside* ``src/repro`` may call them:
+internal code goes through ``repro.multiply`` and
+:class:`~repro.options.SpGEMMOptions`.  This is a line-level grep, not
+an import analysis, so it is fast, dependency-free and easy to reason
+about; the allowlist names the files that define or re-export the shims.
+
+Usage::
+
+    python tools/check_deprecated.py [ROOT]
+
+Exits 0 when clean, 1 listing every offending ``file:line``.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+#: Call sites of the deprecated entry points.  The lookbehinds skip
+#: ``def`` lines and doc spellings like ````spgemm(...)```` (preceded by
+#: a backtick) or attribute tails already matched with their prefix.
+DEPRECATED_CALLS = re.compile(
+    r"(?<!def )(?<![`.\w])"
+    r"(repro\.spgemm|hash_spgemm|resilient_spgemm|spgemm)\s*\(")
+
+#: Files that define, re-export or document the shims themselves.
+ALLOWLIST = {
+    "src/repro/__init__.py",
+    "src/repro/core/__init__.py",
+    "src/repro/core/spgemm.py",
+    "src/repro/core/resilient.py",
+    "src/repro/options.py",
+}
+
+
+def offending_lines(root: Path) -> list[str]:
+    """Every ``file:line: text`` hit under ``root``'s src/repro tree."""
+    hits: list[str] = []
+    for path in sorted((root / "src" / "repro").rglob("*.py")):
+        rel = path.relative_to(root).as_posix()
+        if rel in ALLOWLIST:
+            continue
+        for lineno, line in enumerate(
+                path.read_text(encoding="utf-8").splitlines(), start=1):
+            code = line.split("#", 1)[0]
+            if DEPRECATED_CALLS.search(code):
+                hits.append(f"{rel}:{lineno}: {line.strip()}")
+    return hits
+
+
+def main(argv: list[str]) -> int:
+    root = Path(argv[0]) if argv else Path(__file__).resolve().parent.parent
+    hits = offending_lines(root)
+    for h in hits:
+        print(f"DEPRECATED CALL: {h}", file=sys.stderr)
+    if hits:
+        print(f"{len(hits)} internal call(s) to deprecated entry points; "
+              "use repro.multiply(A, B, options=SpGEMMOptions(...))",
+              file=sys.stderr)
+        return 1
+    print("no internal calls to deprecated entry points")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
