@@ -1,0 +1,104 @@
+"""E19 -- serving under fault storms: goodput and latency vs naive.
+
+The ``repro.serve`` layer fronts the options-composed runner stack with
+admission control, retries, degradation and a circuit breaker.  This
+experiment submits the same 18-job, 3-tenant workload to a 4-device
+NVLink pool under seeded per-allocation OOM storms of increasing rate,
+two ways:
+
+1. *naive sequential*: one bare ``repro.multiply`` per job -- the first
+   injected fault kills the job (the pre-serve status quo);
+2. *served*: through ``SpGEMMServer`` -- recoverable failures retry with
+   deterministic backoff, exhausted retries degrade to the chunked
+   resilient path, and every completion is bit-identical to the
+   fault-free reference.
+
+Per-job seeded ``FaultPlan``s make both legs face the identical storm
+and keep the counts exactly reproducible (``benchmarks/regression.py``
+schema 4 pins the 0.10-rate cell).  Latency is the modeled device time
+of completed jobs (p50/p99 off the ``serve_job_modeled_seconds``
+histogram); the conservation law submitted == completed + rejected +
+timed_out + failed must hold at every rate.
+"""
+
+import repro
+from repro.bench.runner import run_serve_storm, serve_storm_table
+from repro.obs.metrics import check_serve_conservation
+
+from benchmarks.conftest import run_once
+
+SEED = 42
+OOM_RATES = (0.0, 0.02, 0.10, 0.30)
+N_JOBS = 18
+
+#: Acceptance bar: at every non-zero rate the server completes at least
+#: this many more jobs than naive sequential submission.
+TARGET_GOODPUT_GAIN = 4
+
+
+def test_e19_serve_under_fault_storms(benchmark, show):
+    def run():
+        return [run_serve_storm(SEED, rate, n_jobs=N_JOBS)
+                for rate in OOM_RATES]
+
+    runs = run_once(benchmark, run)
+    show("E19: serving goodput under OOM storms (4-device NVLink pool)",
+         serve_storm_table(runs))
+
+    # the storm really is a storm: naive submission collapses with rate
+    naive = [r.naive_completed for r in runs]
+    assert naive[0] == N_JOBS
+    assert all(a >= b for a, b in zip(naive, naive[1:]))
+
+    # fault-free: everything completes, nothing retried or degraded
+    clean = runs[0]
+    assert clean.completed == N_JOBS and clean.retries == 0 \
+        and clean.degraded == 0
+
+    for r in runs:
+        # every completion is bit-identical to the fault-free reference
+        assert r.bit_identical
+        # the conservation law: every submission accounted for exactly once
+        assert r.submitted == r.completed + r.rejected + r.timed_out + r.failed
+        # the server never does worse than the naive loop
+        assert r.completed >= r.naive_completed
+
+    # under faults, retry + degradation buy real goodput over naive
+    for r in runs[1:]:
+        assert r.completed - r.naive_completed >= TARGET_GOODPUT_GAIN, \
+            f"rate {r.oom_rate}: served {r.completed} vs naive " \
+            f"{r.naive_completed}"
+        assert r.retries > 0
+
+    # the same seed replays to the same outcomes (the regression gate
+    # relies on this)
+    assert run_serve_storm(SEED, OOM_RATES[2], n_jobs=N_JOBS) == runs[2]
+
+
+def test_e19_conservation_via_live_server(benchmark, show):
+    """The metrics-level conservation check on a live server's registry."""
+    from repro.options import SpGEMMOptions
+    from repro.serve import ServePolicy, SpGEMMServer
+    from repro.sparse import generators as G
+
+    A = G.banded(250, 8, rng=7)
+
+    def run():
+        srv = SpGEMMServer(options=SpGEMMOptions(devices=4),
+                           n_workers=2,
+                           policy=ServePolicy(max_queue_depth=4))
+        jobs = []
+        with srv:
+            for i in range(8):
+                try:
+                    jobs.append(srv.submit(A, A, tenant=f"t{i % 2}"))
+                except repro.ServerOverloadedError:
+                    pass          # shed load is a counted terminal outcome
+            srv.drain(timeout=120.0)
+        return srv, jobs
+
+    srv, jobs = run_once(benchmark, run)
+    assert all(j.done() for j in jobs)
+    check_serve_conservation(srv.metrics())    # raises on violation
+    show("E19b: conservation on a live 2-worker server",
+         srv.stats_summary())

@@ -7,7 +7,11 @@ plus the E15-style per-phase breakdown for cuSPARSE and the proposal,
 plus the E17 distributed slice (steady-state 4-device NVLink totals with
 the interconnect wall broken out as phase ``comm``), plus the E18 tune
 slice (K40 autotuned vs default Table I parameters on three corpus
-matrices, hard-gated on ``tuned <= default``).
+matrices, hard-gated on ``tuned <= default``), plus the E19 serve slice
+(the pinned chaos storm through ``SpGEMMServer``: completed-job and
+retry counts are exact -- per-job seeded fault plans make them
+deterministic -- and the p99 modeled latency of completed jobs is
+fenced like every other modeled figure).
 All compared quantities are *modeled* device numbers, so they are exactly
 reproducible across runners; wall-clock is recorded for context and only
 fenced loosely (runner variance).
@@ -38,7 +42,7 @@ WALL_TOLERANCE = 3.0
 #: The pinned subset: one high- and one low-throughput analogue.
 DATASETS = ("Protein", "Circuit")
 PRECISION = "single"
-SCHEMA = 3
+SCHEMA = 4
 
 #: The distributed slice (E17): steady-state pool sizes to pin per dataset.
 DIST_DEVICES = 4
@@ -48,6 +52,13 @@ DIST_INTERCONNECT = "nvlink"
 #: known-suboptimal, over matrices where the search finds a strict win.
 TUNE_DEVICE = "K40"
 TUNE_DATASETS = ("Protein", "Circuit", "Economics")
+
+#: The serve slice (E19): one pinned chaos storm through the server.
+#: Counts are exact (deterministic per-job fault plans, one worker);
+#: only the p99 modeled latency gets the usual 10% fence.
+SERVE_SEED = 42
+SERVE_OOM_RATE = 0.10
+SERVE_N_JOBS = 18
 
 
 def collect() -> dict:
@@ -104,6 +115,21 @@ def collect() -> dict:
                     "default_seconds": res.default_seconds,
                     "tune_speedup": res.speedup,
                     "overrides": res.overrides.describe()})
+
+    # the E19 slice: the pinned chaos storm through the serving layer
+    from repro.bench.runner import run_serve_storm
+
+    storm = run_serve_storm(SERVE_SEED, SERVE_OOM_RATE, n_jobs=SERVE_N_JOBS)
+    assert storm.bit_identical, "served results diverged from reference"
+    assert storm.submitted == storm.completed + storm.rejected \
+        + storm.timed_out + storm.failed, "serve conservation violated"
+    out.append({"dataset": f"storm-{SERVE_SEED}@{SERVE_OOM_RATE}",
+                "algorithm": "serve",
+                "total_seconds": storm.p99_modeled_s,
+                "serve_completed": storm.completed,
+                "serve_retries": storm.retries,
+                "serve_degraded": storm.degraded,
+                "serve_naive_completed": storm.naive_completed})
     wall = time.perf_counter() - t0
     return {"schema": SCHEMA, "precision": PRECISION,
             "datasets": list(DATASETS), "wall_seconds": wall, "runs": out}
@@ -152,6 +178,13 @@ def compare(baseline: dict, current: dict) -> list[str]:
                     f"{where}: tuning no longer beats the defaults "
                     f"(x{b['tune_speedup']:.3f} -> "
                     f"x{c.get('tune_speedup', 1.0):.3f})")
+        for field in ("serve_completed", "serve_retries", "serve_degraded",
+                      "serve_naive_completed"):
+            # the serve slice's counts are deterministic: any drift is a
+            # behavior change, not noise -- refresh the baseline on purpose
+            if field in b and c.get(field) != b[field]:
+                problems.append(f"{where}: {field} changed "
+                                f"{b[field]} -> {c.get(field)}")
         if "gflops" in b and c["gflops"] < b["gflops"] * (1.0 - MODELED_TOLERANCE):
             problems.append(
                 f"{where}: modeled GFLOPS regressed "

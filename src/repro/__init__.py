@@ -37,19 +37,24 @@ from repro.dist import DevicePool, DistSpGEMM, Interconnect
 from repro.engine import BatchJob, SpGEMMEngine, SpGEMMPlan
 from repro.errors import (
     AlgorithmError,
+    CircuitOpenError,
     DeviceConfigError,
     DeviceFreeError,
     DeviceLostError,
     DeviceMemoryError,
     HashTableError,
+    JobTimeoutError,
     PlanMismatchError,
     ReproError,
     SchedulerError,
+    ServeError,
+    ServerOverloadedError,
     ShapeMismatchError,
     SparseFormatError,
     UnknownAlgorithmError,
 )
 from repro.options import SpGEMMOptions, multiply, runner_for
+from repro.serve import ServedJob, ServePolicy, SpGEMMServer
 from repro.tune import Autotuner, TunedSpGEMM, TuningStore
 from repro.gpu.device import K40, P100, VEGA56, DeviceSpec
 from repro.gpu.faults import FaultEvent, FaultPlan
@@ -82,10 +87,13 @@ __all__ = [
     "ResilientSpGEMM",
     "SimReport",
     "SpGEMMAlgorithm",
+    "ServePolicy",
+    "ServedJob",
     "SpGEMMEngine",
     "SpGEMMOptions",
     "SpGEMMPlan",
     "SpGEMMResult",
+    "SpGEMMServer",
     "TunedSpGEMM",
     "TuningStore",
     "VEGA56",
@@ -101,14 +109,18 @@ __all__ = [
     "sparse",
     # errors
     "AlgorithmError",
+    "CircuitOpenError",
     "DeviceConfigError",
     "DeviceFreeError",
     "DeviceLostError",
     "DeviceMemoryError",
     "HashTableError",
+    "JobTimeoutError",
     "PlanMismatchError",
     "ReproError",
     "SchedulerError",
+    "ServeError",
+    "ServerOverloadedError",
     "ShapeMismatchError",
     "SparseFormatError",
     "UnknownAlgorithmError",

@@ -191,6 +191,141 @@ def run_dist_scaling(dataset_names: list[str],
     return runs
 
 
+@dataclass
+class ServeStormRun:
+    """One deterministic OOM storm through the serving layer (E19).
+
+    Each job draws its failures from its own seeded
+    :class:`~repro.gpu.faults.FaultPlan` (``seed * 1000 + i``), so the
+    storm is independent of worker interleaving and the served and naive
+    legs face the identical fault sequence -- the counts are exactly
+    reproducible, which is what the regression gate (schema 4) pins.
+    """
+
+    seed: int
+    oom_rate: float
+    n_jobs: int
+    submitted: int
+    completed: int
+    failed: int
+    rejected: int
+    timed_out: int
+    retries: int
+    degraded: int
+    naive_completed: int       #: one bare try per job, no retries
+    p50_modeled_s: float       #: over completed jobs' modeled device time
+    p99_modeled_s: float
+    bit_identical: bool        #: every completed job matched its reference
+
+    @property
+    def goodput(self) -> float:
+        """Fraction of submitted jobs that completed."""
+        return self.completed / self.submitted if self.submitted else 0.0
+
+
+def _storm_matrices(precision: str) -> dict:
+    from repro.sparse import generators as G
+
+    return {"banded": G.banded(300, 8, rng=11, precision=precision),
+            "powerlaw": G.power_law(260, 6, 40, rng=12, precision=precision),
+            "rmat": G.rmat(8, 4, rng=13, precision=precision)}
+
+
+def run_serve_storm(seed: int, oom_rate: float, *, n_jobs: int = 18,
+                    devices: int | tuple | None = 4,
+                    precision: str = "double") -> ServeStormRun:
+    """Drive one seeded OOM storm through :class:`repro.serve.SpGEMMServer`.
+
+    A single worker, zero backoff sleep and per-job fault plans make the
+    whole run deterministic.  The naive leg submits the same jobs
+    sequentially with one bare :func:`repro.multiply` attempt each --
+    the comparison E19 reports.
+    """
+    import numpy as np
+
+    from repro import multiply
+    from repro.errors import ReproError
+    from repro.gpu.faults import FaultPlan
+    from repro.options import SpGEMMOptions
+    from repro.serve import (BreakerPolicy, RetryPolicy, ServePolicy,
+                             SpGEMMServer)
+
+    mats = _storm_matrices(precision)
+    names = sorted(mats)
+    options = SpGEMMOptions(devices=devices, precision=precision)
+    refs = {n: multiply(m, m, options=options) for n, m in mats.items()}
+
+    def job_faults(i: int) -> FaultPlan | None:
+        if oom_rate <= 0.0:
+            return None
+        return FaultPlan(seed=seed * 1000 + i).random_alloc_failures(oom_rate)
+
+    # naive sequential leg: one attempt per job, first fault kills it
+    naive_completed = 0
+    for i in range(n_jobs):
+        try:
+            multiply(mats[names[i % len(names)]], mats[names[i % len(names)]],
+                     options=options, faults=job_faults(i))
+            naive_completed += 1
+        except ReproError:
+            pass
+
+    policy = ServePolicy(
+        max_queue_depth=n_jobs + 4,
+        retry=RetryPolicy(max_retries=2, backoff_base_s=0.0),
+        breaker=BreakerPolicy(failure_threshold=10 ** 6))
+    srv = SpGEMMServer(options=options, n_workers=1, policy=policy,
+                       sleep=lambda s: None)
+    jobs = []
+    try:
+        for i in range(n_jobs):
+            name = names[i % len(names)]
+            jobs.append((name, srv.submit(mats[name], mats[name],
+                                          tenant=f"t{i % 3}",
+                                          matrix_name=name,
+                                          faults=job_faults(i))))
+        if not srv.drain(timeout=600.0):
+            raise RuntimeError("serve storm did not drain")
+    finally:
+        srv.shutdown()
+
+    identical = True
+    for name, j in jobs:
+        if j.exception() is None:
+            got, ref = j.result().matrix, refs[name].matrix
+            identical &= (np.array_equal(got.rpt, ref.rpt)
+                          and np.array_equal(got.col, ref.col)
+                          and np.array_equal(got.val, ref.val))
+
+    reg = srv.metrics()
+    lat = reg._families.get("serve_job_modeled_seconds")
+    return ServeStormRun(
+        seed=seed, oom_rate=oom_rate, n_jobs=n_jobs,
+        submitted=int(reg.value("serve_jobs_total", outcome="submitted")),
+        completed=int(reg.value("serve_jobs_total", outcome="completed")),
+        failed=int(reg.value("serve_jobs_total", outcome="failed")),
+        rejected=int(reg.value("serve_jobs_total", outcome="rejected")),
+        timed_out=int(reg.value("serve_jobs_total", outcome="timed_out")),
+        retries=int(reg.total("serve_retries_total")),
+        degraded=int(reg.total("serve_degraded_total")),
+        naive_completed=naive_completed,
+        p50_modeled_s=lat.quantile(0.5) if lat is not None else 0.0,
+        p99_modeled_s=lat.quantile(0.99) if lat is not None else 0.0,
+        bit_identical=identical)
+
+
+def serve_storm_table(runs: list["ServeStormRun"]) -> str:
+    """E19 table: goodput served vs naive, retries and modeled latency."""
+    lines = [f"{'OOM rate':>9}{'jobs':>6}{'naive ok':>10}{'served ok':>11}"
+             f"{'retries':>9}{'degraded':>10}{'p50 us':>9}{'p99 us':>9}"]
+    for r in runs:
+        lines.append(
+            f"{r.oom_rate:>9.2f}{r.n_jobs:>6}{r.naive_completed:>10}"
+            f"{r.completed:>11}{r.retries:>9}{r.degraded:>10}"
+            f"{r.p50_modeled_s * 1e6:>9.1f}{r.p99_modeled_s * 1e6:>9.1f}")
+    return "\n".join(lines)
+
+
 def dist_scaling_table(runs: list[DistScalingRun]) -> str:
     """E17 table: per-dataset times, comm share and T(1)/T(N) speedups."""
     datasets = list(dict.fromkeys(r.dataset for r in runs))

@@ -13,6 +13,11 @@ Commands
     List the benchmark datasets with instance-vs-paper statistics.
 ``memory``
     Full-scale memory planning table (Figure 4 / Table III view).
+``serve``
+    Replay a multi-tenant job trace through the fault-tolerant
+    :class:`~repro.serve.SpGEMMServer` (admission control, deadlines,
+    circuit breakers, graceful degradation) and print the serving
+    report.
 """
 
 from __future__ import annotations
@@ -27,7 +32,7 @@ ALGORITHM_ALIASES = {"hash": "proposal", "nsparse": "proposal"}
 
 #: Subcommand names; a leading option is routed to ``multiply`` (so
 #: ``python -m repro --algo hash --trace-json out.json`` works bare).
-COMMANDS = ("info", "multiply", "suite", "datasets", "memory")
+COMMANDS = ("info", "multiply", "suite", "datasets", "memory", "serve")
 
 
 #: --device choices (DEVICE_PRESETS keys, stable order for --help).
@@ -147,6 +152,41 @@ def _build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("memory", help="full-scale memory planning")
     p.add_argument("--precision", choices=("single", "double"),
                    default="single")
+
+    p = sub.add_parser("serve", help="replay a job trace through the "
+                                     "serving layer")
+    p.add_argument("--trace", metavar="FILE.json",
+                   help="job trace to replay: JSON list (or "
+                        "{'jobs': [...]}) of objects with 'tenant', "
+                        "'matrix' (generator spec KIND:N:NNZ or dataset "
+                        "name), optional 'repeat', 'deadline_s', 'weight' "
+                        "(default: a built-in three-tenant demo trace)")
+    p.add_argument("--workers", type=int, default=2, metavar="N",
+                   help="server worker threads (default: 2)")
+    p.add_argument("--queue-depth", type=int, default=64, metavar="N",
+                   help="bounded fair-queue capacity (default: 64)")
+    p.add_argument("--deadline-s", type=float, metavar="S",
+                   help="default per-job deadline in host seconds")
+    p.add_argument("--algorithm", "--algo",
+                   choices=sorted(ALGORITHMS) + sorted(ALGORITHM_ALIASES),
+                   default="proposal")
+    p.add_argument("--precision", choices=("single", "double"),
+                   default="double")
+    p.add_argument("--devices", metavar="N|SPEC,SPEC,...",
+                   help="serve from a simulated device pool (see "
+                        "'multiply --devices')")
+    p.add_argument("--chaos-seed", type=int, metavar="SEED",
+                   help="inject a seeded fault storm (random OOMs) into "
+                        "every job -- the chaos-harness mode")
+    p.add_argument("--chaos-oom-rate", type=float, default=0.05,
+                   metavar="P",
+                   help="per-allocation OOM probability under "
+                        "--chaos-seed (default: 0.05)")
+    p.add_argument("--events-jsonl", metavar="FILE",
+                   help="write the serve event stream as JSON lines")
+    p.add_argument("--metrics", action="store_true",
+                   help="print the serve_* metrics registry")
+    _add_device_arg(p)
     return parser
 
 
@@ -363,6 +403,135 @@ def cmd_datasets(args) -> int:
     return 0
 
 
+#: Demo trace for ``serve`` with no --trace: three tenants, mixed sizes,
+#: enough repeats to exercise coalescing and the fair queue.
+_DEMO_TRACE = [
+    {"tenant": "alpha", "matrix": "banded:1500:16", "repeat": 3},
+    {"tenant": "beta", "matrix": "stencil:4900:5", "repeat": 2,
+     "weight": 2.0},
+    {"tenant": "gamma", "matrix": "powerlaw:4000:8", "repeat": 2},
+]
+
+
+def _matrix_from_spec(spec: str, cache: dict):
+    """A matrix from a trace entry: generator spec or dataset name."""
+    m = cache.get(spec)
+    if m is not None:
+        return m
+    if ":" in spec:
+        from repro.sparse import generators as G
+
+        kind, n, nnz = spec.split(":")
+        n, nnz = int(n), float(nnz)
+        makers = {
+            "banded": lambda: G.banded(n, int(nnz), rng=0),
+            "stencil": lambda: G.stencil_regular(n, int(nnz), rng=0),
+            "powerlaw": lambda: G.power_law(n, nnz,
+                                            max(64, int(20 * nnz)), rng=0),
+            "random": lambda: G.random_csr(n, n, nnz, rng=0),
+            "poisson": lambda: G.poisson2d(n),
+        }
+        if kind not in makers:
+            raise SystemExit(f"unknown generator {kind!r} in trace; "
+                             f"choose from {sorted(makers)}")
+        m = makers[kind]()
+    else:
+        from repro.bench.datasets import get_dataset
+
+        m = get_dataset(spec).matrix()
+    cache[spec] = m
+    return m
+
+
+def cmd_serve(args) -> int:
+    import json
+
+    import repro
+    from repro.obs.export import write_serve_jsonl
+    from repro.obs.metrics import check_serve_conservation
+    from repro.options import SpGEMMOptions
+    from repro.serve import ServePolicy, SpGEMMServer
+
+    if args.trace:
+        try:
+            with open(args.trace, encoding="utf-8") as fh:
+                trace = json.load(fh)
+        except (OSError, ValueError) as e:
+            print(f"cannot read trace {args.trace}: {e}", file=sys.stderr)
+            return 1
+        jobs = trace.get("jobs") if isinstance(trace, dict) else trace
+        if not isinstance(jobs, list):
+            print(f"trace {args.trace} is not a job list", file=sys.stderr)
+            return 1
+    else:
+        jobs = _DEMO_TRACE
+
+    devices = None
+    if args.devices:
+        spec = args.devices.strip()
+        devices = int(spec) if spec.isdigit() else tuple(spec.split(","))
+    options = SpGEMMOptions(
+        algorithm=ALGORITHM_ALIASES.get(args.algorithm, args.algorithm),
+        precision=args.precision, device=_device(args.device),
+        devices=devices)
+    policy = ServePolicy(max_queue_depth=max(1, args.queue_depth),
+                         default_deadline_s=args.deadline_s)
+    faults = None
+    if args.chaos_seed is not None:
+        from repro.gpu.faults import FaultPlan
+
+        faults = FaultPlan(seed=args.chaos_seed).random_alloc_failures(
+            args.chaos_oom_rate)
+
+    weights = {str(j.get("tenant", "default")): float(j["weight"])
+               for j in jobs if isinstance(j, dict) and "weight" in j}
+    cache: dict = {}
+    server = SpGEMMServer(options=options, n_workers=max(1, args.workers),
+                          policy=policy, tenant_weights=weights,
+                          faults=faults)
+    submitted, shed = 0, 0
+    try:
+        for entry in jobs:
+            if not isinstance(entry, dict):
+                continue
+            spec = str(entry.get("matrix", "banded:1000:16"))
+            A = _matrix_from_spec(spec, cache)
+            for _ in range(max(1, int(entry.get("repeat", 1)))):
+                try:
+                    server.submit(
+                        A, A, tenant=str(entry.get("tenant", "default")),
+                        deadline_s=entry.get("deadline_s"),
+                        matrix_name=spec)
+                    submitted += 1
+                except repro.ReproError:
+                    shed += 1    # typed rejection; counted by the server
+        server.drain()
+    finally:
+        server.shutdown()
+
+    print(server.stats_summary())
+    if shed:
+        print(f"  ({shed} of {submitted + shed} submissions shed at "
+              f"admission)")
+    reg = server.metrics()
+    try:
+        check_serve_conservation(reg)
+    except AssertionError as e:
+        print(f"CONSERVATION VIOLATION: {e}", file=sys.stderr)
+        return 1
+    if args.metrics:
+        print("\n" + reg.render())
+    if args.events_jsonl:
+        try:
+            write_serve_jsonl(server.events.events, args.events_jsonl)
+        except OSError as e:
+            print(f"cannot write events to {args.events_jsonl}: {e}",
+                  file=sys.stderr)
+            return 1
+        print(f"serve events written to {args.events_jsonl}")
+    return 0
+
+
 def cmd_memory(args) -> int:
     from repro.bench.datasets import DATASETS, LARGE_GRAPHS
     from repro.bench.memory_model import memory_ratio_table
@@ -388,6 +557,7 @@ def main(argv: list[str] | None = None) -> int:
         "suite": cmd_suite,
         "datasets": cmd_datasets,
         "memory": cmd_memory,
+        "serve": cmd_serve,
     }
     return handlers[args.command](args)
 

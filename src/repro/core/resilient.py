@@ -257,14 +257,25 @@ class ResilientSpGEMM(SpGEMMAlgorithm):
                        "budget_bytes": a.budget_bytes, "ok": a.ok,
                        "error": a.error, "injected": a.injected}))
 
-    def _ladder(self, budget: int, n_rows: int):
-        """Yield ``(strategy, budget, panels)`` rungs for one algorithm."""
+    def ladder_rungs(self, budget: int, n_rows: int):
+        """The ``(strategy, budget, panels)`` rungs tried per algorithm.
+
+        Public so the property-based suite can pin the ladder's
+        termination bound: the rung count is at most ``2 +
+        ceil(log2(max_panels / initial_panels)) + 1`` regardless of
+        inputs, the retry rung's budget never exceeds the plain rung's,
+        and the panel counts grow strictly until they clear
+        ``min(max_panels, n_rows)``.
+        """
         yield "plain", budget, 0
         yield "retry", max(1, int(budget * self.retry_budget_factor)), 0
         k = self.initial_panels
         while k <= min(self.max_panels, max(2, n_rows)):
             yield "panels", budget, k
             k *= 2
+
+    # backward-compatible private spelling
+    _ladder = ladder_rungs
 
     def _attempt(self, algo, A, B, p, device, matrix_name, faults, rep,
                  strategy, budget, panels):

@@ -31,6 +31,12 @@ a ``detect`` comm transfer and the episode recorded in a
 :class:`~repro.core.resilient.ResilienceReport`.  An empty pool raises
 :class:`~repro.errors.DeviceLostError`.
 
+Transient interconnect faults (:meth:`~repro.gpu.faults.FaultPlan.
+fail_comm`) fire during the broadcast: the driver retries the failed
+transfer once -- charging the extra traffic as a ``retry`` comm event --
+and only when the retry also fails escalates to the device-loss path
+above (mark lost, repartition, rebroadcast).
+
 The merged :class:`~repro.gpu.timeline.SimReport` keeps every device
 event (kernels, allocs, grouping, plan-cache traffic) time-shifted onto
 the driver's clock -- only the per-device ``charge`` events are replaced
@@ -68,6 +74,17 @@ def _digest(*arrays) -> str:
         h.update(str(a.shape).encode())
         h.update(a.tobytes())
     return h.hexdigest()
+
+
+class _CommEscalation(Exception):
+    """Internal: a broadcast transfer failed twice; treat the device as
+    lost and restart from dispatch (never escapes :meth:`DistSpGEMM.
+    multiply`)."""
+
+    def __init__(self, slot, fault_event) -> None:
+        super().__init__(f"comm failure on {slot.device_id}")
+        self.slot = slot
+        self.fault_event = fault_event
 
 
 class _DriverClock:
@@ -188,13 +205,22 @@ class DistSpGEMM(SpGEMMAlgorithm):
         clk = _DriverClock()
         rep: ResilienceReport | None = None
 
-        active, rep = self._dispatch(pool, clk, faults, rep)
-        part = partition_rows(A, B, pool.weights(), p)
-        self.last_partition = part
+        while True:
+            active, rep = self._dispatch(pool, clk, faults, rep)
+            part = partition_rows(A, B, pool.weights(), p)
+            self.last_partition = part
 
-        if self.tune:
-            self._tune_devices(A, B, p, active, clk)
-        self._broadcast(B, p, active, clk)
+            if self.tune:
+                self._tune_devices(A, B, p, active, clk)
+            try:
+                self._broadcast(B, p, active, clk, faults)
+                break
+            except _CommEscalation as esc:
+                # the retry failed too: device-loss recovery from the top
+                rep = self._lose_device(pool, clk, esc.slot,
+                                        esc.fault_event, rep,
+                                        reason="comm failure "
+                                               "(retry exhausted)")
 
         # concurrent compute wave: one panel per device, wall time is the
         # slowest device's run
@@ -284,27 +310,36 @@ class DistSpGEMM(SpGEMMAlgorithm):
             if lost is None:
                 return active, rep
             slot, fe = lost
-            pool.mark_lost(slot.device_id)
-            self.devices_lost += 1
-            survivors = len(pool.active)
-            clk.emit(OBS.DEVICE_LOST, slot.device_id, rule=fe.rule,
-                     survivors=survivors)
-            clk.emit(OBS.COMM, "detect", device=slot.device_id, nbytes=0,
-                     seconds=LOSS_DETECT_SECONDS,
-                     link=self.interconnect.name, cached=False)
-            clk.charge("comm", LOSS_DETECT_SECONDS, "comm",
-                       f"{slot.device_id} loss detection")
-            if rep is None:
-                rep = ResilienceReport()
-            rep.faults_seen += 1
-            rep.injected_faults += 1
-            rep.attempts.append(AttemptRecord(
-                algorithm=self.name, strategy="repartition",
-                budget_bytes=0, panels=survivors, ok=survivors > 0,
-                error=f"device {slot.device_id} lost", injected=True))
-            rep.recovered = survivors > 0
-            rep.final_algorithm = self.name
-            rep.final_strategy = "repartition"
+            rep = self._lose_device(pool, clk, slot, fe, rep)
+
+    def _lose_device(self, pool: DevicePool, clk: _DriverClock,
+                     slot: DeviceSlot, fe, rep: ResilienceReport | None,
+                     reason: str = "lost") -> ResilienceReport:
+        """Device-loss bookkeeping: mark lost, charge the detection round,
+        record the recovery attempt.  Shared by the dispatch health check
+        and the broadcast comm-escalation path."""
+        pool.mark_lost(slot.device_id)
+        self.devices_lost += 1
+        survivors = len(pool.active)
+        clk.emit(OBS.DEVICE_LOST, slot.device_id, rule=fe.rule,
+                 survivors=survivors)
+        clk.emit(OBS.COMM, "detect", device=slot.device_id, nbytes=0,
+                 seconds=LOSS_DETECT_SECONDS,
+                 link=self.interconnect.name, cached=False)
+        clk.charge("comm", LOSS_DETECT_SECONDS, "comm",
+                   f"{slot.device_id} loss detection")
+        if rep is None:
+            rep = ResilienceReport()
+        rep.faults_seen += 1
+        rep.injected_faults += 1
+        rep.attempts.append(AttemptRecord(
+            algorithm=self.name, strategy="repartition",
+            budget_bytes=0, panels=survivors, ok=survivors > 0,
+            error=f"device {slot.device_id} {reason}", injected=True))
+        rep.recovered = survivors > 0
+        rep.final_algorithm = self.name
+        rep.final_strategy = "repartition"
+        return rep
 
     def _tune_devices(self, A: CSRMatrix, B: CSRMatrix, p: Precision,
                       active: list[DeviceSlot], clk: _DriverClock) -> None:
@@ -347,8 +382,18 @@ class DistSpGEMM(SpGEMMAlgorithm):
                          speedup=res.speedup, validated=res.validated)
 
     def _broadcast(self, B: CSRMatrix, p: Precision,
-                   active: list[DeviceSlot], clk: _DriverClock) -> None:
-        """Replicate B to every active device, through the resident cache."""
+                   active: list[DeviceSlot], clk: _DriverClock,
+                   faults: FaultPlan | None = None) -> None:
+        """Replicate B to every active device, through the resident cache.
+
+        A transient comm fault (:meth:`~repro.gpu.faults.FaultPlan.
+        fail_comm`) on a device's transfer is retried once, charging the
+        retransmission; a second fault on the same transfer raises
+        :class:`_CommEscalation` so :meth:`multiply` runs device-loss
+        recovery.  The resident-B cache only advances when the whole
+        broadcast succeeded -- a failed round must not leave the driver
+        believing B is resident.
+        """
         pattern = _digest(B.rpt, B.col) + f":{B.shape}"
         values = _digest(B.val)
         cached = False
@@ -362,10 +407,21 @@ class DistSpGEMM(SpGEMMAlgorithm):
             cached = True
         else:
             nbytes = B.device_bytes(p)
-        self._resident_b = (pattern, values)
 
         per_link = self.interconnect.transfer_seconds(nbytes)
         for slot in active:
+            if faults is not None:
+                fe = faults.check_comm(slot.device_id)
+                if fe is not None:
+                    clk.emit(OBS.COMM, "retry", device=slot.device_id,
+                             nbytes=nbytes, seconds=per_link,
+                             link=self.interconnect.name, cached=cached,
+                             rule=fe.rule)
+                    clk.charge("comm", per_link, "comm",
+                               f"{slot.device_id} broadcast retry")
+                    fe2 = faults.check_comm(slot.device_id)
+                    if fe2 is not None:
+                        raise _CommEscalation(slot, fe2)
             clk.emit(OBS.COMM, "broadcast", device=slot.device_id,
                      nbytes=nbytes, seconds=per_link,
                      link=self.interconnect.name, cached=cached)
@@ -373,6 +429,7 @@ class DistSpGEMM(SpGEMMAlgorithm):
         if wall > 0.0:
             clk.charge("comm", wall, "comm",
                        f"broadcast B to {len(active)} devices")
+        self._resident_b = (pattern, values)
 
     def _gather(self, parts: list[CSRMatrix], p: Precision,
                 slots: list[DeviceSlot], clk: _DriverClock) -> None:

@@ -119,6 +119,15 @@ class DevicePool:
         return np.array([s.spec.mem_bandwidth_gbps for s in self.active],
                         dtype=np.float64)
 
+    def memory_bytes(self) -> int:
+        """Combined device-memory capacity of the *active* devices.
+
+        The serving layer's admission budget: jobs are admitted while
+        their estimated working sets fit under this figure, and the
+        budget shrinks automatically when a device is marked lost.
+        """
+        return sum(s.spec.global_mem_bytes for s in self.active)
+
     def describe(self) -> str:
         """Short pool description for reports (``4x Tesla P100...``)."""
         from collections import Counter

@@ -5,6 +5,31 @@ catch everything from this package with a single ``except`` clause.  The GPU
 simulator raises :class:`DeviceMemoryError` where a real CUDA run would
 return ``cudaErrorMemoryAllocation`` -- the Table III experiments rely on
 catching it to report the "-" (out of memory) entries of the paper.
+
+The taxonomy::
+
+    ReproError
+    ├── SparseFormatError          structurally invalid CSR/COO container
+    ├── ShapeMismatchError         incompatible operand shapes
+    ├── DeviceMemoryError          simulated cudaErrorMemoryAllocation
+    │   └── DeviceFreeError        double free / unknown allocation
+    ├── DeviceConfigError          infeasible launch configuration
+    ├── DeviceLostError            a pool device died (or the pool emptied)
+    ├── SchedulerError             kernel-scheduler invariant violation
+    ├── HashTableError             hash-table overflow inside a kernel
+    ├── AlgorithmError             algorithm selection / wiring
+    │   ├── UnknownAlgorithmError  registry lookup of an unknown name
+    │   └── PlanMismatchError      cached plan no longer matches operands
+    └── ServeError                 serving-layer rejections (repro.serve)
+        ├── ServerOverloadedError  bounded queue full -- load shed
+        ├── JobTimeoutError        deadline expired before completion
+        └── CircuitOpenError       tenant breaker open -- rejected fast
+
+The three :class:`ServeError` leaves are the acceptance taxonomy of the
+serving layer: every job a :class:`~repro.serve.SpGEMMServer` accepts
+either completes bit-identical to a direct multiply or resolves with
+exactly one of these (or the run error itself); nothing is dropped
+silently.
 """
 
 from __future__ import annotations
@@ -112,6 +137,64 @@ class UnknownAlgorithmError(AlgorithmError):
         super().__init__(
             f"unknown algorithm {self.name!r}; available: "
             f"{list(self.available)}")
+
+
+class ServeError(ReproError):
+    """Base class for errors raised by the :mod:`repro.serve` layer.
+
+    Every serving-side rejection is a subclass, so a tenant can catch
+    the whole family with one ``except ServeError`` while the three
+    concrete outcomes stay distinguishable (the acceptance taxonomy:
+    overload, deadline, breaker).
+    """
+
+
+class ServerOverloadedError(ServeError):
+    """The server's bounded queue is full: load was shed at admission.
+
+    Carries the tenant, the queue depth at rejection time and the
+    configured bound, so a client can implement its own backpressure
+    (and the chaos harness can assert the bound is actually enforced).
+    """
+
+    def __init__(self, message: str, *, tenant: str = "",
+                 queue_depth: int = 0, max_queue_depth: int = 0) -> None:
+        super().__init__(message)
+        self.tenant = str(tenant)
+        self.queue_depth = int(queue_depth)
+        self.max_queue_depth = int(max_queue_depth)
+
+
+class JobTimeoutError(ServeError):
+    """A served job's deadline expired before it could complete.
+
+    Raised through the job's future when the deadline passes while the
+    job is queued or between retry attempts (running work is never
+    preempted -- the simulator has no cancellation points).  Carries the
+    tenant, the deadline and how long the job actually waited.
+    """
+
+    def __init__(self, message: str, *, tenant: str = "",
+                 deadline_s: float = 0.0, waited_s: float = 0.0) -> None:
+        super().__init__(message)
+        self.tenant = str(tenant)
+        self.deadline_s = float(deadline_s)
+        self.waited_s = float(waited_s)
+
+
+class CircuitOpenError(ServeError):
+    """A tenant's circuit breaker is open: the job was rejected fast.
+
+    Raised at submission time when the tenant's recent jobs kept
+    failing; carries the tenant and the seconds until the breaker next
+    admits a half-open probe, so well-behaved clients can back off.
+    """
+
+    def __init__(self, message: str, *, tenant: str = "",
+                 retry_after_s: float = 0.0) -> None:
+        super().__init__(message)
+        self.tenant = str(tenant)
+        self.retry_after_s = float(retry_after_s)
 
 
 class PlanMismatchError(AlgorithmError):

@@ -23,6 +23,10 @@ force failures at precise points of a run:
   when :class:`repro.dist.DistSpGEMM` next dispatches a panel to it,
   raising :class:`~repro.errors.DeviceLostError` (the distributed driver
   repartitions the survivors and retries);
+* ``fail_comm(pattern)`` fails the next operand transfer onto a matching
+  pool device -- a *transient* interconnect fault.  The distributed
+  driver retries the transfer once (charging the extra traffic) and only
+  escalates to device-loss recovery when the retry fails too;
 * ``random_alloc_failures(p)`` fails each allocation with probability
   ``p`` from the plan's seeded generator -- deterministic given ``seed``.
 
@@ -42,7 +46,7 @@ import numpy as np
 class FaultEvent:
     """One injected fault (appended to :attr:`FaultPlan.fired`)."""
 
-    kind: str        #: 'alloc' | 'hash_table' | 'device_lost'
+    kind: str        #: 'alloc' | 'hash_table' | 'device_lost' | 'comm'
     site: str        #: allocation buffer, kernel, or pool device id
     index: int       #: global allocation index (-1 for kernel/device faults)
     rule: str        #: human-readable description of the rule that fired
@@ -88,6 +92,7 @@ class FaultPlan:
     _name_rules: list = field(default_factory=list)
     _kernel_rules: list = field(default_factory=list)
     _device_rules: list = field(default_factory=list)
+    _comm_rules: list = field(default_factory=list)
     _random_prob: float = 0.0
     _random_remaining: float = 0.0
 
@@ -142,6 +147,22 @@ class FaultPlan:
         keeps shrinking).  Only consulted by the distributed driver.
         """
         self._device_rules.append(_NameRule(
+            re.compile(pattern), nth,
+            float("inf") if times is None else int(times)))
+        return self
+
+    def fail_comm(self, pattern: str = ".*", *, nth: int = 1,
+                  times: int | None = 1) -> "FaultPlan":
+        """Fail an operand transfer onto a matching pool device.
+
+        Unlike :meth:`fail_device`, a comm fault is *transient*: the
+        distributed driver retries the transfer once before treating the
+        device as lost.  ``pattern``/``nth``/``times`` follow
+        :meth:`fail_device` semantics; each transfer attempt (including
+        the retry) counts as one match, so ``times=2`` with one device
+        defeats the retry and forces escalation.
+        """
+        self._comm_rules.append(_NameRule(
             re.compile(pattern), nth,
             float("inf") if times is None else int(times)))
         return self
@@ -204,6 +225,17 @@ class FaultPlan:
             if r.check(device_id):
                 event = FaultEvent(kind="device_lost", site=device_id,
                                    index=-1, rule=r.describe())
+                self.fired.append(event)
+                return event
+        return None
+
+    def check_comm(self, device_id: str) -> FaultEvent | None:
+        """Called per operand-transfer attempt onto a pool device; returns
+        the transient comm fault to inject, if any."""
+        for r in self._comm_rules:
+            if r.check(device_id):
+                event = FaultEvent(kind="comm", site=device_id, index=-1,
+                                   rule=r.describe())
                 self.fired.append(event)
                 return event
         return None

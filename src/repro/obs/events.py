@@ -70,6 +70,31 @@ Event kinds
     A pool device dropped out (a :class:`~repro.gpu.faults.FaultPlan`
     device rule fired); ``name`` is the device id; attrs: ``rule``,
     ``survivors``.
+``serve_submit`` / ``serve_admit`` / ``serve_reject`` / ``serve_timeout`` /
+``serve_retry`` / ``serve_degrade`` / ``serve_coalesce`` / ``serve_breaker`` /
+``serve_done``
+    Lifecycle of one job through :class:`~repro.serve.SpGEMMServer`
+    (timestamps are host seconds on the *server's* clock, not a device
+    run's simulated clock; the two never share a stream).  ``name`` is
+    the tenant.  ``serve_submit`` opens every submission (attrs: ``job``,
+    ``digest``, ``estimate_bytes``, ``deadline_s``); ``serve_admit``
+    marks dispatch to a worker (attrs: ``job``, ``queue_wait_s``,
+    ``queue_depth``, ``in_flight_bytes``); ``serve_reject`` is shed load
+    (attrs: ``job``, ``reason`` -- ``overloaded`` | ``circuit_open``);
+    ``serve_timeout`` is a deadline expiry (attrs: ``job``,
+    ``waited_s``); ``serve_retry`` one backoff attempt (attrs: ``job``,
+    ``attempt``, ``backoff_s``, ``error``); ``serve_degrade`` a
+    downgrade to chunked/fallback execution (attrs: ``job``, ``reason``
+    -- ``over_budget`` | ``memory_pressure`` | ``queue_pressure`` |
+    ``retry_exhausted``); ``serve_coalesce`` a follower attached to an
+    identical in-flight job (attrs: ``job``, ``leader``);
+    ``serve_breaker`` a breaker transition (attrs: ``state``, ``from``);
+    ``serve_done`` closes every admitted job (attrs: ``job``,
+    ``outcome`` -- ``completed`` | ``failed`` -- ``error``,
+    ``modeled_seconds``, ``latency_s``, ``attempts``, ``degraded``,
+    ``coalesced``).  The conservation law
+    :func:`~repro.obs.metrics.check_serve_conservation` pins submissions
+    against these outcomes.
 ``tune_hit`` / ``tune_miss`` / ``tune_search`` / ``tune_apply``
     Autotuner traffic of :class:`~repro.tune.TunedSpGEMM`; ``name`` is
     the sketch digest keying the tuning store.  A ``tune_hit`` reuses a
@@ -107,12 +132,26 @@ TUNE_HIT = "tune_hit"
 TUNE_MISS = "tune_miss"
 TUNE_SEARCH = "tune_search"
 TUNE_APPLY = "tune_apply"
+SERVE_SUBMIT = "serve_submit"
+SERVE_ADMIT = "serve_admit"
+SERVE_REJECT = "serve_reject"
+SERVE_TIMEOUT = "serve_timeout"
+SERVE_RETRY = "serve_retry"
+SERVE_DEGRADE = "serve_degrade"
+SERVE_COALESCE = "serve_coalesce"
+SERVE_BREAKER = "serve_breaker"
+SERVE_DONE = "serve_done"
+
+#: The serving-layer kinds as a family (metrics/export route them together).
+SERVE_KINDS = (SERVE_SUBMIT, SERVE_ADMIT, SERVE_REJECT, SERVE_TIMEOUT,
+               SERVE_RETRY, SERVE_DEGRADE, SERVE_COALESCE, SERVE_BREAKER,
+               SERVE_DONE)
 
 #: All kinds the pipeline emits (exporters treat unknown kinds as opaque).
 EVENT_KINDS = (KERNEL_LAUNCH, KERNEL_RETIRE, CHARGE, ALLOC, FREE, GROUPING,
                HASH_STATS, FAULT, RUN_ABORT, RESILIENCE, CACHE_HIT,
                CACHE_MISS, CACHE_EVICT, COMM, DIST_PANEL, DEVICE_LOST,
-               TUNE_HIT, TUNE_MISS, TUNE_SEARCH, TUNE_APPLY)
+               TUNE_HIT, TUNE_MISS, TUNE_SEARCH, TUNE_APPLY) + SERVE_KINDS
 
 #: ``source`` values a ``charge`` event may carry.  ``comm`` charges are
 #: interconnect wall time; ``devices`` charges are the critical-path

@@ -42,6 +42,9 @@ COMM_TRACK = 2000
 #: Chrome tid of the autotuner track of a tuned run.
 TUNE_TRACK = 3000
 
+#: Chrome tid of the serving-layer track (server-clock events).
+SERVE_TRACK = 4000
+
 _INSTANT_KINDS = (E.GROUPING, E.HASH_STATS, E.FAULT, E.RUN_ABORT,
                   E.RESILIENCE, E.DIST_PANEL, E.DEVICE_LOST)
 
@@ -85,6 +88,9 @@ def chrome_trace(report: "SimReport") -> dict[str, Any]:
     if any(e.kind in _TUNE_KINDS for e in report.events):
         evs.append({"ph": "M", "pid": pid, "tid": TUNE_TRACK,
                     "name": "thread_name", "args": {"name": "autotuner"}})
+    if any(e.kind in E.SERVE_KINDS for e in report.events):
+        evs.append({"ph": "M", "pid": pid, "tid": SERVE_TRACK,
+                    "name": "thread_name", "args": {"name": "serve"}})
 
     for rec in report.kernels:
         evs.append({"ph": "X", "cat": "kernel", "name": rec.name,
@@ -123,6 +129,10 @@ def chrome_trace(report: "SimReport") -> dict[str, Any]:
                         "pid": pid, "tid": COMM_TRACK, "ts": _us(e.ts),
                         "dur": _us(e.attrs.get("seconds", 0.0)),
                         "args": dict(e.attrs)})
+        elif e.kind in E.SERVE_KINDS:
+            evs.append({"ph": "i", "cat": e.kind, "name": e.name,
+                        "pid": pid, "tid": SERVE_TRACK, "ts": _us(e.ts),
+                        "s": "p", "args": dict(e.attrs)})
 
     return {"traceEvents": evs, "displayTimeUnit": "ns",
             "otherData": {"algorithm": report.algorithm,
@@ -138,6 +148,27 @@ def write_chrome_trace(report: "SimReport", path) -> None:
     """Serialize :func:`chrome_trace` to ``path`` as JSON."""
     with open(path, "w", encoding="utf-8") as fh:
         json.dump(chrome_trace(report), fh, indent=1)
+
+
+def serve_events_jsonl(events) -> str:
+    """The serving layer's event stream as JSON lines.
+
+    One JSON object per event (``ts`` / ``kind`` / ``name`` / ``attrs``),
+    in emission order -- the replayable artifact the CI serve job uploads
+    when the chaos harness fails, and the format the CLI's
+    ``serve --log-jsonl`` writes.
+    """
+    out = []
+    for e in events:
+        out.append(json.dumps({"ts": e.ts, "kind": e.kind, "name": e.name,
+                               "attrs": e.attrs}, sort_keys=True))
+    return "\n".join(out) + ("\n" if out else "")
+
+
+def write_serve_jsonl(events, path) -> None:
+    """Serialize :func:`serve_events_jsonl` to ``path``."""
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(serve_events_jsonl(events))
 
 
 def chrome_phase_totals(doc: dict[str, Any]) -> dict[str, float]:

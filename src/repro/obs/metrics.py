@@ -93,6 +93,30 @@ class MetricFamily:
         v = self.samples.get(_labels_key(labels), 0.0)
         return float(len(v)) if isinstance(v, list) else float(v)
 
+    def quantile(self, q: float, **label_filter: Any) -> float:
+        """Empirical quantile over a histogram's raw observations.
+
+        Pools every sample whose labels include ``label_filter`` (so
+        ``quantile(0.99)`` is the global p99 and
+        ``quantile(0.5, tenant="a")`` a per-tenant median).  Uses the
+        nearest-rank method on the sorted observations -- deterministic
+        and exact for the small populations the serving layer tracks.
+        Returns 0.0 when no observations match.
+        """
+        if self.kind != HISTOGRAM:
+            raise TypeError(f"{self.name} is a {self.kind}, not a histogram")
+        want = set(_labels_key(label_filter))
+        obs: list[float] = []
+        for key, v in self.samples.items():
+            if want <= set(key):
+                obs.extend(v)
+        if not obs:
+            return 0.0
+        obs.sort()
+        rank = max(0, min(len(obs) - 1,
+                          int(math.ceil(q * len(obs))) - 1))
+        return obs[rank]
+
     def total(self, **label_filter: Any) -> float:
         """Sum of samples whose labels include ``label_filter``."""
         want = set(_labels_key(label_filter))
@@ -217,12 +241,31 @@ def metrics_from_report(report: "SimReport") -> MetricsRegistry:
         k_n.inc(1, phase=rec.phase)
         k_hist.observe(rec.duration, phase=rec.phase)
 
+    aggregate_events(reg, report.events)
+    return reg
+
+
+def metrics_from_events(events) -> MetricsRegistry:
+    """A registry from a bare event list (no :class:`SimReport` around it).
+
+    The serving layer's event stream lives on the server, not on any one
+    run report; this builds the same families
+    :func:`metrics_from_report` would for those kinds.  Pure function of
+    the events, like its report-level sibling.
+    """
+    reg = MetricsRegistry()
+    aggregate_events(reg, events)
+    return reg
+
+
+def aggregate_events(reg: MetricsRegistry, events) -> None:
+    """Fold an event stream into ``reg`` (shared by both constructors)."""
     comp = reg.counter("phase_component_seconds",
                        "phase time split by charge source")
     alloc_b = reg.counter("alloc_bytes_total", "bytes allocated")
     free_b = reg.counter("free_bytes_total", "bytes freed")
     allocs = reg.counter("allocs_total", "allocation events by buffer")
-    for e in report.events:
+    for e in events:
         if e.kind == E.CHARGE:
             comp.inc(e.attrs.get("seconds", 0.0), phase=e.name,
                      component=_COMPONENT_BY_KIND.get(
@@ -310,7 +353,60 @@ def metrics_from_report(report: "SimReport") -> MetricsRegistry:
                           "default/tuned modeled-time ratio of the "
                           "applied config").set(
                     e.attrs.get("speedup", 1.0), sketch=e.name)
-    return reg
+        elif e.kind in E.SERVE_KINDS:
+            _aggregate_serve_event(reg, e)
+
+
+def _aggregate_serve_event(reg: MetricsRegistry, e) -> None:
+    """One serving-layer event into the ``serve_*`` families.
+
+    ``serve_jobs_total{outcome}`` is the conservation family: every
+    submission lands in exactly one terminal outcome (``completed`` |
+    ``rejected`` | ``timed_out`` | ``failed``), which
+    :func:`check_serve_conservation` asserts.
+    """
+    jobs = reg.counter("serve_jobs_total",
+                       "jobs by lifecycle outcome (conservation family)")
+    if e.kind == E.SERVE_SUBMIT:
+        jobs.inc(1, outcome="submitted")
+    elif e.kind == E.SERVE_ADMIT:
+        reg.counter("serve_admission_total",
+                    "admission decisions by kind").inc(
+            1, decision="admitted")
+        reg.histogram("serve_queue_wait_seconds",
+                      "host seconds between submit and dispatch").observe(
+            e.attrs.get("queue_wait_s", 0.0), tenant=e.name)
+    elif e.kind == E.SERVE_REJECT:
+        jobs.inc(1, outcome="rejected")
+        reg.counter("serve_admission_total").inc(
+            1, decision="rejected", reason=e.attrs.get("reason", ""))
+    elif e.kind == E.SERVE_TIMEOUT:
+        jobs.inc(1, outcome="timed_out")
+    elif e.kind == E.SERVE_RETRY:
+        reg.counter("serve_retries_total",
+                    "recoverable-failure retry attempts").inc(1, tenant=e.name)
+    elif e.kind == E.SERVE_DEGRADE:
+        reg.counter("serve_degraded_total",
+                    "admissions downgraded to chunked/fallback "
+                    "execution").inc(1, reason=e.attrs.get("reason", ""))
+    elif e.kind == E.SERVE_COALESCE:
+        reg.counter("serve_coalesced_total",
+                    "followers attached to an identical in-flight "
+                    "job").inc(1, tenant=e.name)
+    elif e.kind == E.SERVE_BREAKER:
+        reg.counter("serve_breaker_transitions_total",
+                    "circuit-breaker state transitions").inc(
+            1, tenant=e.name, state=e.attrs.get("state", ""))
+    elif e.kind == E.SERVE_DONE:
+        outcome = e.attrs.get("outcome", "completed")
+        jobs.inc(1, outcome=outcome)
+        reg.histogram("serve_latency_seconds",
+                      "host seconds from submit to completion").observe(
+            e.attrs.get("latency_s", 0.0), tenant=e.name)
+        if outcome == "completed":
+            reg.histogram("serve_job_modeled_seconds",
+                          "modeled device seconds of completed jobs").observe(
+                e.attrs.get("modeled_seconds", 0.0), tenant=e.name)
 
 
 def check_conservation(report: "SimReport", *, tol: float = 1e-9) -> None:
@@ -358,3 +454,26 @@ def check_conservation(report: "SimReport", *, tol: float = 1e-9) -> None:
             raise AssertionError(
                 f"device-wave time {wave!r} exceeds the panels' combined "
                 f"span {sum(panel_secs)!r}")
+
+
+def check_serve_conservation(reg: MetricsRegistry) -> None:
+    """Assert the serving layer's job-conservation law.
+
+    Every submitted job must land in exactly one terminal outcome::
+
+        submitted == completed + rejected + timed_out + failed
+
+    ``reg`` is a registry built over the server's event stream
+    (:func:`metrics_from_events` or ``SpGEMMServer.metrics()`` after
+    :meth:`~repro.serve.SpGEMMServer.drain`).  Raises
+    :class:`AssertionError` naming the imbalance -- a violation means a
+    job was silently dropped or double-counted, the failure modes the
+    chaos harness exists to catch.
+    """
+    submitted = reg.value("serve_jobs_total", outcome="submitted")
+    terminal = {o: reg.value("serve_jobs_total", outcome=o)
+                for o in ("completed", "rejected", "timed_out", "failed")}
+    if submitted != sum(terminal.values()):
+        raise AssertionError(
+            f"serve conservation violated: submitted {submitted:.0f} != "
+            + " + ".join(f"{o} {n:.0f}" for o, n in terminal.items()))

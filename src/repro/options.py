@@ -105,6 +105,24 @@ class SpGEMMOptions:
                 parts.append(f"{f.name}={v}")
         return " ".join(parts) or "default"
 
+    def coalesce_token(self) -> str:
+        """Stable string identifying the *execution configuration*.
+
+        Two jobs whose operands digest identically AND whose options
+        share this token compute bit-identical results, so the serving
+        layer may coalesce them onto one run.  Built from every field
+        that changes the runner chain or the numeric output; per-call
+        inputs (matrix name, fault plan) are deliberately absent.
+        """
+        parts = [self.algorithm, self.precision.value, self.device.name,
+                 str(self.engine), str(self.cache_budget_bytes),
+                 str(self.resilient), str(self.memory_budget),
+                 str(self.max_panels), str(self.devices), self.interconnect,
+                 str(self.tune), str(self.tune_top_k)]
+        parts += [f"{k}={self.algo_options[k]}"
+                  for k in sorted(self.algo_options)]
+        return "|".join(parts)
+
 
 def _resilient_options(o: SpGEMMOptions) -> dict:
     """Constructor kwargs for the resilience ladder under ``o``."""

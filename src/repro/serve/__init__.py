@@ -1,0 +1,19 @@
+"""repro.serve -- fault-tolerant multi-tenant SpGEMM serving.
+
+The :class:`SpGEMMServer` fronts :func:`repro.multiply`'s runner chain
+with a thread pool, cost-model admission control, deadlines, retries
+with deterministic backoff, per-tenant circuit breakers, weighted-fair
+queueing, graceful degradation to the resilience ladder and job
+coalescing.  See :mod:`repro.serve.server` for the design notes.
+"""
+
+from repro.serve.breaker import CLOSED, HALF_OPEN, OPEN, CircuitBreaker
+from repro.serve.policy import BreakerPolicy, RetryPolicy, ServePolicy
+from repro.serve.queue import WeightedFairQueue
+from repro.serve.server import ServedJob, SpGEMMServer, estimate_job_bytes
+
+__all__ = [
+    "SpGEMMServer", "ServedJob", "ServePolicy", "RetryPolicy",
+    "BreakerPolicy", "CircuitBreaker", "WeightedFairQueue",
+    "estimate_job_bytes", "CLOSED", "HALF_OPEN", "OPEN",
+]

@@ -1,0 +1,101 @@
+"""Serving policies: admission, deadlines, retry, breaker, degradation.
+
+One frozen value object per concern, composed into :class:`ServePolicy`
+-- the single knob surface of :class:`~repro.serve.SpGEMMServer`.  The
+defaults are deliberately conservative (small bounded queue, two
+retries, a breaker that trips after four consecutive failures): a
+misconfigured tenant should hit a typed rejection long before it can
+destabilize the fleet.
+
+All durations are host seconds on the server's clock (injectable for
+deterministic tests); all byte figures are *estimated* device bytes from
+the :mod:`repro.core.work`-derived job cost model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Capped exponential backoff with deterministic jitter.
+
+    A job's ``attempt``-th retry (1-based) sleeps::
+
+        min(backoff_cap_s, backoff_base_s * 2**(attempt - 1))
+            * (1 + jitter * u)
+
+    where ``u`` in ``[0, 1)`` is a deterministic hash of (job id,
+    attempt) -- two servers replaying the same trace back off
+    identically, yet concurrent jobs de-synchronize instead of
+    thundering back together.
+    """
+
+    max_retries: int = 2          #: retry attempts before degrading
+    backoff_base_s: float = 0.001
+    backoff_cap_s: float = 0.050
+    jitter: float = 0.25          #: fraction of the backoff added at most
+
+    def backoff_seconds(self, job_id: int, attempt: int) -> float:
+        """The deterministic sleep before retry ``attempt`` (1-based)."""
+        base = min(self.backoff_cap_s,
+                   self.backoff_base_s * (2.0 ** max(0, attempt - 1)))
+        # splitmix64-style integer hash -> u in [0, 1)
+        x = (job_id * 0x9E3779B97F4A7C15 + attempt * 0xBF58476D1CE4E5B9)
+        x &= (1 << 64) - 1
+        x ^= x >> 31
+        u = (x % (1 << 24)) / float(1 << 24)
+        return base * (1.0 + self.jitter * u)
+
+
+@dataclass(frozen=True)
+class BreakerPolicy:
+    """Per-tenant circuit breaker thresholds.
+
+    ``failure_threshold`` consecutive failures trip the breaker OPEN;
+    after ``cooldown_s`` it admits ``half_open_probes`` probe jobs
+    (HALF_OPEN).  A probe success closes the breaker, a probe failure
+    re-opens it for another cooldown.
+    """
+
+    failure_threshold: int = 4
+    cooldown_s: float = 1.0
+    half_open_probes: int = 1
+
+
+@dataclass(frozen=True)
+class ServePolicy:
+    """Everything configurable about the server's robustness core.
+
+    Admission
+        ``max_queue_depth`` bounds the fair queue; a submit beyond it is
+        shed with :class:`~repro.errors.ServerOverloadedError`.
+        ``memory_budget_bytes`` overrides the pool-derived budget;
+        ``admission_headroom`` is the fraction of it admission may fill
+        with in-flight estimates.
+    Deadlines
+        ``default_deadline_s`` applies when a job names none
+        (``None`` = no deadline).  Expiry is checked at dispatch and
+        between retries; running work is never preempted.
+    Degradation
+        A job whose estimate alone exceeds the usable budget, or any
+        admission while in-flight estimates exceed
+        ``degrade_memory_fraction`` of the budget or the queue sits
+        deeper than ``degrade_queue_depth``, runs through the
+        chunked/fallback resilience ladder instead of being rejected.
+    Coalescing
+        ``coalesce=True`` attaches jobs identical in (operand digests,
+        options token) to an already queued/running twin, sharing one
+        plan-cached run.
+    """
+
+    max_queue_depth: int = 64
+    default_deadline_s: float | None = None
+    memory_budget_bytes: int | None = None
+    admission_headroom: float = 0.9
+    degrade_queue_depth: int = 48
+    degrade_memory_fraction: float = 0.75
+    coalesce: bool = True
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+    breaker: BreakerPolicy = field(default_factory=BreakerPolicy)

@@ -273,6 +273,57 @@ class TestDeviceLoss:
         assert "dev2" not in devices and devices
 
 
+class TestCommFaults:
+    def test_transient_comm_fault_retried_once(self):
+        A = generators.banded(200, 10, rng=21)
+        single = repro.spgemm(A, A, precision="single")
+        dist = DistSpGEMM(n_devices=3)
+        faults = FaultPlan().fail_comm("dev1", times=1)
+        res = dist.multiply(A, A, precision="single", faults=faults)
+        assert_same_matrix(single.matrix, res.matrix)
+        # one retry transfer charged, no device lost, no recovery episode
+        retries = [e for e in res.report.events
+                   if e.kind == E.COMM and e.name == "retry"]
+        assert len(retries) == 1
+        assert retries[0].attrs["device"] == "dev1"
+        assert retries[0].attrs["nbytes"] > 0
+        assert res.resilience is None
+        assert dist.devices_lost == 0
+        assert [f.kind for f in faults.fired] == ["comm"]
+        check_conservation(res.report)
+
+    def test_persistent_comm_fault_escalates_to_loss(self):
+        A = generators.banded(200, 10, rng=22)
+        single = repro.spgemm(A, A, precision="single")
+        dist = DistSpGEMM(n_devices=3)
+        faults = FaultPlan().fail_comm("dev1", times=2)
+        res = dist.multiply(A, A, precision="single", faults=faults)
+        assert_same_matrix(single.matrix, res.matrix)
+        assert dist.devices_lost == 1
+        assert res.resilience is not None and res.resilience.recovered
+        assert any("comm failure (retry exhausted)" in a.error
+                   for a in res.resilience.attempts)
+        lost = [e for e in res.report.events if e.kind == E.DEVICE_LOST]
+        assert [e.name for e in lost] == ["dev1"]
+        check_conservation(res.report)
+
+    def test_comm_escalation_does_not_poison_broadcast_cache(self):
+        # round 1's broadcast dies mid-way; round 2 must re-ship B in full
+        A = generators.banded(150, 8, rng=23)
+        dist = DistSpGEMM(n_devices=3)
+        res = dist.multiply(A, A, precision="single",
+                            faults=FaultPlan().fail_comm("dev1", times=2))
+        bcasts = [e for e in res.report.events
+                  if e.kind == E.COMM and e.name == "broadcast"]
+        # after the loss, the rebroadcast to the survivors is uncached
+        assert all(not e.attrs["cached"] for e in bcasts)
+        # next multiply on the intact (shrunken) pool reuses the cache
+        res2 = dist.multiply(A, A, precision="single")
+        bcasts2 = [e for e in res2.report.events
+                   if e.kind == E.COMM and e.name == "broadcast"]
+        assert all(e.attrs["cached"] for e in bcasts2)
+
+
 class TestBroadcastCache:
     def test_same_b_is_not_reshipped(self):
         A = generators.banded(120, 8, rng=12)

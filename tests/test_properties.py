@@ -9,6 +9,7 @@ from hypothesis.extra import numpy as hnp
 from repro.core.grouping import group_rows
 from repro.core.hashtable import HashTable, simulate_insertions
 from repro.core.params import build_group_table
+from repro.core.resilient import ResilientSpGEMM
 from repro.gpu.device import P100
 from repro.gpu.kernel import BlockWorks, KernelLaunch
 from repro.gpu.scheduler import simulate_phase
@@ -228,3 +229,79 @@ class TestSchedulerProperties:
             __import__("repro.gpu.cost", fromlist=["block_durations"])
             .block_durations(k, P100, "single"))) for k in kernels)
         assert sched.duration >= longest
+
+
+class TestResilienceLadderProperties:
+    """The degradation ladder terminates and never raises its budget."""
+
+    @staticmethod
+    def _algo(initial_panels, max_panels, factor):
+        return ResilientSpGEMM(initial_panels=initial_panels,
+                               max_panels=max_panels,
+                               retry_budget_factor=factor)
+
+    @SETTINGS
+    @given(st.integers(1, 1 << 40),                  # budget (bytes)
+           st.integers(0, 1_000_000),                # n_rows
+           st.integers(2, 64),                       # initial_panels
+           st.integers(2, 4096),                     # max_panels
+           st.floats(0.05, 1.0, allow_nan=False))    # retry_budget_factor
+    def test_ladder_terminates_within_documented_bound(
+            self, budget, n_rows, initial_panels, max_panels, factor):
+        import math
+
+        algo = self._algo(initial_panels, max_panels, factor)
+        rungs = list(algo.ladder_rungs(budget, n_rows))
+        ratio = max(algo.max_panels / algo.initial_panels, 1.0)
+        bound = 2 + math.ceil(math.log2(ratio)) + 1
+        assert 2 <= len(rungs) <= bound
+
+    @SETTINGS
+    @given(st.integers(1, 1 << 40), st.integers(0, 1_000_000),
+           st.integers(2, 64), st.integers(2, 4096),
+           st.floats(0.05, 1.0, allow_nan=False))
+    def test_ladder_budgets_never_increase(self, budget, n_rows,
+                                           initial_panels, max_panels, factor):
+        algo = self._algo(initial_panels, max_panels, factor)
+        rungs = list(algo.ladder_rungs(budget, n_rows))
+        strategies = [s for s, _, _ in rungs]
+        assert strategies[:2] == ["plain", "retry"]
+        assert set(strategies[2:]) <= {"panels"}
+        # every rung's budget is positive and bounded by the plain rung's
+        assert all(b >= 1 for _, b, _ in rungs)
+        assert all(b <= rungs[0][1] for _, b, _ in rungs)
+
+    @SETTINGS
+    @given(st.integers(1, 1 << 40), st.integers(0, 1_000_000),
+           st.integers(2, 64), st.integers(2, 4096),
+           st.floats(0.05, 1.0, allow_nan=False))
+    def test_panel_counts_double_and_stay_bounded(
+            self, budget, n_rows, initial_panels, max_panels, factor):
+        algo = self._algo(initial_panels, max_panels, factor)
+        panels = [k for s, _, k in algo.ladder_rungs(budget, n_rows)
+                  if s == "panels"]
+        cap = min(algo.max_panels, max(2, n_rows))
+        assert all(2 <= k <= cap for k in panels)
+        assert all(b == 2 * a for a, b in zip(panels, panels[1:]))
+        # the ladder only stops chunking once doubling would burst the cap
+        if panels:
+            assert panels[-1] * 2 > cap
+
+    def test_real_run_attempt_budgets_non_increasing(self):
+        # a transient alloc fault forces plain -> retry; the retry rung's
+        # AttemptRecord budget must not exceed the plain rung's
+        import repro
+        from repro.gpu.faults import FaultPlan
+        from repro.sparse import generators
+
+        A = generators.rmat(7, 4, rng=3)
+        r = repro.spgemm(A, A, algorithm="resilient",
+                         faults=FaultPlan().fail_alloc(index=3))
+        rep = r.resilience
+        assert rep is not None and rep.recovered
+        per_algo: dict[str, list[int]] = {}
+        for a in rep.attempts:
+            per_algo.setdefault(a.algorithm, []).append(a.budget_bytes)
+        for budgets in per_algo.values():
+            assert all(b <= a for a, b in zip(budgets, budgets[1:]))
+        assert len(rep.attempts) <= 2 + 256 + 1   # far under, but bounded

@@ -89,6 +89,57 @@ def test_store_corrupt_file_treated_as_empty(tmp_path):
     assert json.loads(path.read_text())["schema"] == STORE_SCHEMA
 
 
+def test_store_concurrent_writers_lose_no_updates(tmp_path):
+    # the regression this pins: two writers doing read-modify-write on the
+    # same file used to drop whichever save landed first
+    import threading
+
+    path = str(tmp_path / "tune.json")
+    errors: list[BaseException] = []
+
+    def writer(name: str, n: int) -> None:
+        try:
+            store = TuningStore(path)      # each thread: its own handle
+            for i in range(n):
+                store.put("P100", "double", f"{name}-{i}",
+                          {"overrides": {"t_max": 1024}, "speedup": 1.0})
+        except BaseException as e:         # surfaced after join
+            errors.append(e)
+
+    threads = [threading.Thread(target=writer, args=(f"w{k}", 20))
+               for k in range(2)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert not errors
+    merged = TuningStore(path)
+    assert len(merged) == 40               # every key from both writers
+    assert not (tmp_path / "tune.json.lock").exists()
+
+
+def test_store_clear_is_authoritative(tmp_path):
+    path = str(tmp_path / "tune.json")
+    a, b = TuningStore(path), TuningStore(path)
+    a.put("P100", "double", "x", {"speedup": 1.0})
+    b.put("P100", "double", "y", {"speedup": 1.0})
+    a.clear()                              # a wipe must not resurrect "y"
+    assert len(TuningStore(path)) == 0
+
+
+def test_store_stale_lock_is_broken(tmp_path):
+    path = tmp_path / "tune.json"
+    lock = tmp_path / "tune.json.lock"
+    lock.write_text("999999\n")
+    old = lock.stat().st_mtime
+    import os
+    os.utime(lock, (old - 3600, old - 3600))   # an hour-old abandoned lock
+    st = TuningStore(str(path))
+    st.put("P100", "double", "k", {"speedup": 1.0})   # must not time out
+    assert len(TuningStore(str(path))) == 1
+    assert not lock.exists()
+
+
 # -- the search -------------------------------------------------------------
 
 def test_candidate_space_includes_default_first():
