@@ -1,0 +1,70 @@
+"""E20 -- real-seconds cost of the simulator on iterative workloads.
+
+Every other experiment reports *modeled* device time; E20 measures the
+host CPU seconds the simulator itself burns serving the E16/E17
+iterative suites -- the quantity that bounds ``repro.serve`` throughput
+and CI latency.  The vectorization pass (sort-recipe replay, phase-
+schedule memo, batched group/table primitives, unobserved fast path)
+targets exactly this number, with the dual-path equivalence suite
+holding the outputs bit-identical.
+
+Reference points measured on the CI container (median of 5):
+
+======================  ==========  =========  ========
+suite                   before (s)  after (s)  speedup
+======================  ==========  =========  ========
+e16-iterative               0.8648     0.1511    x5.72
+e17-dist-iterative          0.2074     0.0854    x2.43
+======================  ==========  =========  ========
+
+The table printed below is the *current* measurement on this machine;
+the SCHEMA-5 slice of ``benchmarks/regression.py`` pins it at 1.5x.
+"""
+
+import numpy as np
+
+from repro import perf
+from repro.bench.wallclock import run_wallclock_suite
+from repro.sparse import generators
+from repro.sparse.product import compute_product
+
+from benchmarks.conftest import run_once
+
+#: The pre-vectorization medians (CI container), for the speedup column.
+BEFORE_SECONDS = {"e16-iterative": 0.8648, "e17-dist-iterative": 0.2074}
+
+
+def _equivalence_probe():
+    """One iterate through both cores; returns (fast C, scalar C)."""
+    A = generators.banded(600, 12, rng=5)
+    perf.clear_fast_caches()
+    fast = compute_product(A, A).C
+    import os
+
+    os.environ["REPRO_SCALAR_CORE"] = "1"
+    try:
+        perf.clear_fast_caches()
+        scalar = compute_product(A, A).C
+    finally:
+        del os.environ["REPRO_SCALAR_CORE"]
+    perf.clear_fast_caches()
+    return fast, scalar
+
+
+def test_e20_wallclock(benchmark, show):
+    stats = run_once(benchmark, lambda: run_wallclock_suite(repeats=3))
+
+    # the speed is only worth reporting if the fast core is exact
+    fast, scalar = _equivalence_probe()
+    assert np.array_equal(fast.rpt, scalar.rpt)
+    assert np.array_equal(fast.col, scalar.col)
+    assert np.array_equal(fast.val, scalar.val)
+
+    rows = [f"{'suite':<22}{'median s':>10}{'before s':>10}{'speedup':>9}"]
+    for name in sorted(stats):
+        s = stats[name]
+        before = BEFORE_SECONDS.get(name)
+        sp = f"x{before / s.median_seconds:.2f}" if before else "-"
+        bf = f"{before:.4f}" if before else "-"
+        rows.append(f"{name:<22}{s.median_seconds:>10.4f}{bf:>10}{sp:>9}")
+    show("E20 wall-clock (real seconds, median of 3)", "\n".join(rows))

@@ -11,16 +11,20 @@ matrices, hard-gated on ``tuned <= default``), plus the E19 serve slice
 (the pinned chaos storm through ``SpGEMMServer``: completed-job and
 retry counts are exact -- per-job seeded fault plans make them
 deterministic -- and the p99 modeled latency of completed jobs is
-fenced like every other modeled figure).
-All compared quantities are *modeled* device numbers, so they are exactly
-reproducible across runners; wall-clock is recorded for context and only
-fenced loosely (runner variance).
+fenced like every other modeled figure), plus the E20 wall-clock slice
+(median-of-5 *real* seconds of the E16/E17 iterative suites from
+:mod:`repro.bench.wallclock`, fenced at 1.5x -- the one gate on the
+simulator's own host cost rather than its modeled output).
+All other compared quantities are *modeled* device numbers, so they are
+exactly reproducible across runners; the overall wall-clock is recorded
+for context and only fenced loosely (runner variance).
 
 Usage::
 
     PYTHONPATH=src python benchmarks/regression.py write BENCH_PR.json
     PYTHONPATH=src python benchmarks/regression.py check \
         BENCH_BASELINE.json BENCH_PR.json
+    PYTHONPATH=src python benchmarks/regression.py profile profile.txt
 
 ``check`` exits 1 when any modeled GFLOPS or total-seconds figure
 regresses by more than ``MODELED_TOLERANCE`` (10%), when the run set
@@ -38,11 +42,15 @@ import time
 MODELED_TOLERANCE = 0.10
 #: Wall clock varies wildly across CI runners; only a blow-up fails.
 WALL_TOLERANCE = 3.0
+#: The E20 real-seconds slice: loose enough for runner variance, far
+#: tighter than the 2-5x a de-vectorized hot path costs (fence = 1.5x).
+WALLCLOCK_TOLERANCE = 0.5
+WALLCLOCK_REPEATS = 5
 
 #: The pinned subset: one high- and one low-throughput analogue.
 DATASETS = ("Protein", "Circuit")
 PRECISION = "single"
-SCHEMA = 4
+SCHEMA = 5
 
 #: The distributed slice (E17): steady-state pool sizes to pin per dataset.
 DIST_DEVICES = 4
@@ -130,6 +138,15 @@ def collect() -> dict:
                 "serve_retries": storm.retries,
                 "serve_degraded": storm.degraded,
                 "serve_naive_completed": storm.naive_completed})
+
+    # the E20 slice: real seconds of the iterative suites (schema 5)
+    from repro.bench.wallclock import run_wallclock_suite
+
+    for name, stat in sorted(run_wallclock_suite(
+            repeats=WALLCLOCK_REPEATS).items()):
+        out.append({"dataset": name, "algorithm": "wallclock",
+                    "wall_seconds_median": stat.median_seconds,
+                    "wall_runs": list(stat.runs)})
     wall = time.perf_counter() - t0
     return {"schema": SCHEMA, "precision": PRECISION,
             "datasets": list(DATASETS), "wall_seconds": wall, "runs": out}
@@ -163,6 +180,18 @@ def compare(baseline: dict, current: dict) -> list[str]:
                             f"{b.get('oom', False)} -> {c.get('oom', False)}")
             continue
         if b.get("oom"):
+            continue
+        if "wall_seconds_median" in b:
+            # the E20 slice compares real seconds, not modeled ones: only
+            # the median is fenced, at the dedicated (looser) tolerance
+            if (c.get("wall_seconds_median", 0.0)
+                    > b["wall_seconds_median"] * (1.0 + WALLCLOCK_TOLERANCE)):
+                problems.append(
+                    f"{where}: wall clock regressed "
+                    f"{b['wall_seconds_median']:.3f}s -> "
+                    f"{c['wall_seconds_median']:.3f}s "
+                    f"(>{1.0 + WALLCLOCK_TOLERANCE:.1f}x; profile with "
+                    f"'python benchmarks/regression.py profile <file>')")
             continue
         if "default_seconds" in c:
             # the tune slice's hard invariant: the search falls back to
@@ -225,6 +254,16 @@ def main(argv: list[str]) -> int:
             fh.write("\n")
         print(f"wrote {argv[1]}: {len(doc['runs'])} runs, "
               f"wall {doc['wall_seconds']:.2f}s")
+        return 0
+    if len(argv) == 2 and argv[0] == "profile":
+        # CI failure artifact: where the E16 iterative pass spends its
+        # real seconds (top functions by cumulative time)
+        from repro.bench.profile import profile_call, write_profile
+        from repro.bench.wallclock import e16_iterative_pass
+
+        _, report = profile_call(e16_iterative_pass)
+        write_profile(argv[1], report)
+        print(f"wrote {argv[1]}")
         return 0
     if len(argv) == 3 and argv[0] == "check":
         with open(argv[1], encoding="utf-8") as fh:

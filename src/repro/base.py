@@ -59,7 +59,8 @@ class RunContext:
     def __init__(self, algorithm: str, matrix_name: str, device: DeviceSpec,
                  precision: Precision, *, charge_time: bool = True,
                  faults: FaultPlan | None = None,
-                 numeric_only: bool = False) -> None:
+                 numeric_only: bool = False,
+                 observed: bool | None = None) -> None:
         self.algorithm = algorithm
         self.matrix_name = matrix_name
         self.device = device
@@ -69,6 +70,13 @@ class RunContext:
         #: symbolic work ('setup'/'count' kernels), turning "a cache hit
         #: skips the symbolic phase" from a convention into an invariant.
         self.numeric_only = numeric_only
+        #: False skips all event construction (the throughput fast path:
+        #: no trace sink or metrics registry is reading the stream, so
+        #: nothing is built).  ``None`` inherits the ambient default of
+        #: :func:`repro.obs.events.observe_runs` -- True unless a caller
+        #: opted out.  Checked once per phase/charge, never per element.
+        self.observed = (OBS.observed_default() if observed is None
+                         else bool(observed))
         self.events = EventBus()
         self.memory = DeviceMemory(device, charge_time=charge_time,
                                    faults=faults,
@@ -87,9 +95,26 @@ class RunContext:
 
     # -- observability -----------------------------------------------------
 
-    def emit(self, kind: str, name: str, **attrs) -> Event:
-        """Publish one event at the current simulated time."""
+    def emit(self, kind: str, name: str, **attrs) -> Event | None:
+        """Publish one event at the current simulated time.
+
+        Returns ``None`` (and builds nothing) on an unobserved context.
+        """
+        if not self.observed:
+            return None
         return self.events.emit(kind, name, self.clock, **attrs)
+
+    def emit_each(self, kind: str, name: str, records: "list[dict]") -> None:
+        """Publish one event per attrs dict, all at the current time.
+
+        The batched form core code uses instead of calling :meth:`emit`
+        inside a loop (``tools/check_emit_loops.py`` enforces that): the
+        observed check happens once, not per record.
+        """
+        if not self.observed:
+            return
+        for attrs in records:
+            self.events.emit(kind, name, self.clock, **attrs)
 
     def _on_memory_event(self, event, peak: int) -> None:
         """DeviceMemory observer: mirror alloc/free traffic onto the bus.
@@ -97,6 +122,8 @@ class RunContext:
         Fires *before* any time is charged for the operation, so the
         timestamp is the start of the (possibly zero-length) charge.
         """
+        if not self.observed:
+            return
         self.events.emit(event.kind, event.name, self.clock,
                          nbytes=event.nbytes, in_use=event.in_use_after,
                          peak=peak)
@@ -106,10 +133,12 @@ class RunContext:
         """Advance the clock and publish the matching ``charge`` event.
 
         All simulated time flows through here, so summing the charge
-        events of a phase reproduces ``phase_seconds`` exactly.
+        events of a phase reproduces ``phase_seconds`` exactly (on an
+        unobserved context only the clock advances).
         """
-        self.events.emit(OBS.CHARGE, phase, self.clock, seconds=seconds,
-                         source=source, detail=detail)
+        if self.observed:
+            self.events.emit(OBS.CHARGE, phase, self.clock, seconds=seconds,
+                             source=source, detail=detail)
         self.clock += seconds
         self.phase_seconds[phase] = self.phase_seconds.get(phase, 0.0) + seconds
 
@@ -166,6 +195,8 @@ class RunContext:
                      f"{len(sched.records)} kernels")
         self.clock = sched.end   # exact, avoids start + dt round-off
         self.kernels.extend(sched.records)
+        if not self.observed:
+            return dt
         batch = []
         for r in sched.records:
             batch.append(Event(ts=r.start, kind=OBS.KERNEL_LAUNCH,

@@ -31,7 +31,7 @@ from repro.gpu.device import P100, DeviceSpec
 from repro.gpu.faults import FaultPlan
 from repro.sparse.csr import CSRMatrix
 from repro.sparse.product import product_for
-from repro.types import Precision, next_pow2
+from repro.types import Precision, next_pow2_array
 
 #: Shared hash-table entries per row (warp) in the counting phase.
 SYMBOLIC_TABLE = 1024
@@ -130,9 +130,7 @@ class CuSparseSpGEMM(SpGEMMAlgorithm):
         heavy = nnz_out > tsize
         if not heavy.any():
             return 0
-        sizes = np.sort(np.array([next_pow2(int(s))
-                                  for s in np.asarray(sizing)[heavy]],
-                                 dtype=np.int64))[::-1]
+        sizes = np.sort(next_pow2_array(np.asarray(sizing)[heavy]))[::-1]
         best = 0
         for lo in range(0, sizes.shape[0], chunk):
             best = max(best, int(sizes[lo:lo + chunk].sum()))

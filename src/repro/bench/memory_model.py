@@ -25,7 +25,7 @@ from repro.bench.datasets import Dataset
 from repro.core.numeric import group0_table_entries
 from repro.core.params import build_group_table
 from repro.gpu.device import P100, DeviceSpec
-from repro.types import Precision, next_pow2
+from repro.types import Precision, next_pow2_array
 
 
 def scale_rows(per_row: np.ndarray, n_rows_full: int, total_full: int) -> np.ndarray:
@@ -82,7 +82,7 @@ def peak_proposal(fs: FullScaleArrays, p: Precision,
     # symbolic Group-0 retries: rows whose nnz exceeds the shared try table
     try_table = table.max_shared_table_symbolic
     failed = fs.row_nnz_out > try_table
-    g0_sym = int(sum(next_pow2(int(v)) for v in fs.row_products[failed]) * 4)
+    g0_sym = int(next_pow2_array(fs.row_products[failed]).sum() * 4)
 
     # numeric Group-0 tables: rows above the largest shared numeric table
     heavy = fs.row_nnz_out > table.max_shared_table_numeric

@@ -1,0 +1,131 @@
+"""Real-seconds measurement of the simulator's iterative hot paths.
+
+Every other gate in the repo compares *modeled* device seconds, which are
+deterministic across machines.  This module measures the one thing those
+gates cannot: how much host CPU time the simulator itself burns serving
+an iterative workload -- the quantity that decides how much traffic
+``repro.serve`` can sustain.
+
+Two suites mirror the E16/E17 benchmarks:
+
+* :func:`e16_iterative_pass` -- the plan-cache amortization shape: N
+  fresh-value iterates of a fixed banded pattern, run cold and through
+  one :class:`~repro.engine.SpGEMMEngine`, plus a Markov-clustering leg
+  whose pattern stabilizes mid-run.
+* :func:`e17_dist_pass` -- the same iterates through a 4-device NVLink
+  pool (one long-lived distributed runner, as a service would hold).
+
+:func:`measure` runs a suite callable several times from a cold cache
+(median of the repeats) so the number includes the cold start but is not
+dominated by one noisy run.  The SCHEMA-5 slice of
+``benchmarks/regression.py`` and the ``pytest -m perf`` smoke tests both
+consume these functions; ``benchmarks/bench_e20_wallclock.py`` prints
+them as the E20 table.
+"""
+
+from __future__ import annotations
+
+import statistics
+import time
+from typing import Callable, NamedTuple
+
+import numpy as np
+
+from repro.sparse.csr import CSRMatrix
+
+#: Iterations of the fixed-pattern leg (matches the E16 benchmark).
+E16_ITERS = 8
+#: Expansions of the Markov-clustering leg.
+E16_MCL_ITERS = 12
+#: Iterations and pool size of the distributed leg.
+E17_ITERS = 4
+E17_DEVICES = 4
+
+
+class WallClockStat(NamedTuple):
+    """Median-of-repeats wall-clock result for one suite."""
+
+    name: str
+    median_seconds: float
+    runs: tuple[float, ...]
+
+
+def _reset_caches() -> None:
+    """Start each repeat from a cold process-like state."""
+    from repro import perf
+
+    perf.clear_fast_caches()
+
+
+def _iterates(A: CSRMatrix, n: int) -> list[CSRMatrix]:
+    """Fresh values on a shared structure: the iterative-solver shape."""
+    rng = np.random.default_rng(7)
+    return [CSRMatrix(A.rpt, A.col, A.val * rng.uniform(0.5, 1.5),
+                      A.shape, check=False) for _ in range(n)]
+
+
+def e16_iterative_pass(*, n_iters: int = E16_ITERS,
+                       mcl_iters: int = E16_MCL_ITERS) -> int:
+    """One pass of the E16 iterative suite; returns total output nnz.
+
+    Cold multiplies and engine replays of the same fresh-value iterates,
+    then a Markov-clustering run whose pattern stabilizes -- the three
+    call shapes an iterative consumer produces.
+    """
+    import repro
+    from repro.apps import markov_cluster
+    from repro.engine import SpGEMMEngine
+    from repro.sparse import generators
+
+    A = generators.banded(1200, 20, rng=0)
+    mats = _iterates(A, n_iters)
+    nnz = 0
+    for M in mats:
+        nnz += repro.multiply(M, M).matrix.nnz
+    eng = SpGEMMEngine("proposal")
+    for M in mats:
+        nnz += eng.multiply(M, M).matrix.nnz
+    G = generators.block_dense(120, 12, rng=0)
+    nnz += markov_cluster(G, max_iters=mcl_iters).matrix.nnz
+    return nnz
+
+
+def e17_dist_pass(*, n_iters: int = E17_ITERS,
+                  n_devices: int = E17_DEVICES) -> int:
+    """One pass of the E17 distributed iterative suite (NVLink pool)."""
+    from repro.options import SpGEMMOptions, runner_for
+    from repro.sparse import generators
+
+    A = generators.banded(1200, 20, rng=0)
+    mats = _iterates(A, n_iters)
+    opts = SpGEMMOptions(devices=n_devices, interconnect="nvlink")
+    runner = runner_for(opts)   # long-lived, as a service would hold it
+    nnz = 0
+    for M in mats:
+        nnz += runner.multiply(M, M, precision=opts.precision,
+                               device=opts.device).matrix.nnz
+    return nnz
+
+
+def measure(fn: Callable[[], object], *, repeats: int = 5,
+            name: str = "") -> WallClockStat:
+    """Median wall-clock seconds of ``fn`` over ``repeats`` cold runs."""
+    runs = []
+    for _ in range(repeats):
+        _reset_caches()
+        t0 = time.perf_counter()
+        fn()
+        runs.append(time.perf_counter() - t0)
+    return WallClockStat(name=name or getattr(fn, "__name__", "suite"),
+                         median_seconds=statistics.median(runs),
+                         runs=tuple(runs))
+
+
+def run_wallclock_suite(*, repeats: int = 5) -> dict[str, WallClockStat]:
+    """Both suites, keyed as the regression slice records them."""
+    return {
+        "e16-iterative": measure(e16_iterative_pass, repeats=repeats,
+                                 name="e16-iterative"),
+        "e17-dist-iterative": measure(e17_dist_pass, repeats=repeats,
+                                      name="e17-dist-iterative"),
+    }

@@ -131,6 +131,9 @@ def _build_parser() -> argparse.ArgumentParser:
                         "mid-run (requires --devices)")
     p.add_argument("--shrink-capacity", type=float, metavar="FACTOR",
                    help="scale the device capacity by FACTOR in (0, 1]")
+    p.add_argument("--profile", nargs="?", const="-", metavar="FILE",
+                   help="run under cProfile and print the top functions "
+                        "by cumulative time (or write the table to FILE)")
     _add_device_arg(p)
 
     p = sub.add_parser("suite", help="run the Figure 2/3 suite")
@@ -146,6 +149,9 @@ def _build_parser() -> argparse.ArgumentParser:
                         "(pair with --repeat for steady-state numbers)")
     p.add_argument("--repeat", type=int, default=1, metavar="N",
                    help="run each cell N times, report the last run")
+    p.add_argument("--profile", nargs="?", const="-", metavar="FILE",
+                   help="profile the whole suite under cProfile and print "
+                        "the top functions (or write the table to FILE)")
 
     sub.add_parser("datasets", help="list benchmark datasets")
 
@@ -306,17 +312,28 @@ def cmd_multiply(args) -> int:
     dist = runner if isinstance(runner, DistSpGEMM) else None
     eng = next((r for r in (runner, getattr(runner, "inner", None))
                 if isinstance(r, SpGEMMEngine)), None)
-    try:
+    def _run_all():
+        last = None
         for i in range(repeat):
-            result = runner.multiply(A, A, precision=options.precision,
-                                     device=options.device,
-                                     matrix_name=name,
-                                     faults=_fault_plan(args))
+            last = runner.multiply(A, A, precision=options.precision,
+                                   device=options.device,
+                                   matrix_name=name,
+                                   faults=_fault_plan(args))
             if repeat > 1:
-                rr = result.report
+                rr = last.report
                 tag = "replay" if rr.numeric_only else "cold"
                 print(f"  run {i + 1}/{repeat}: "
                       f"{rr.total_seconds * 1e6:10.1f} us  ({tag})")
+        return last
+
+    try:
+        if args.profile:
+            from repro.bench.profile import profile_call
+
+            result, profile_report = profile_call(_run_all)
+            _emit_profile(profile_report, args.profile)
+        else:
+            result = _run_all()
     except repro.ReproError as e:
         print(f"run failed: {e}", file=sys.stderr)
         return 1
@@ -374,15 +391,37 @@ def cmd_multiply(args) -> int:
     return 0
 
 
+def _emit_profile(report: str, dest: str) -> None:
+    """Print a rendered cProfile table, or write it when ``dest`` names a
+    file (``-`` means stdout)."""
+    if dest == "-":
+        print("\ncProfile (top functions by cumulative time):")
+        print(report)
+    else:
+        from repro.bench.profile import write_profile
+
+        write_profile(dest, report)
+        print(f"profile written to {dest}")
+
+
 def cmd_suite(args) -> int:
     from repro.bench.datasets import DATASETS, LARGE_GRAPHS
     from repro.bench.runner import (gflops_table, metrics_phase_table,
                                     run_suite, speedup_stats)
 
     names = list(LARGE_GRAPHS if args.large else DATASETS)
-    runs = run_suite(names, algorithms=DISPLAY_ORDER,
-                     precisions=(args.precision,),
-                     repeat=max(1, args.repeat), engine=args.engine)
+    if args.profile:
+        from repro.bench.profile import profile_call
+
+        runs, profile_report = profile_call(
+            run_suite, names, algorithms=DISPLAY_ORDER,
+            precisions=(args.precision,), repeat=max(1, args.repeat),
+            engine=args.engine)
+        _emit_profile(profile_report, args.profile)
+    else:
+        runs = run_suite(names, algorithms=DISPLAY_ORDER,
+                         precisions=(args.precision,),
+                         repeat=max(1, args.repeat), engine=args.engine)
     if args.engine:
         print(f"(plan-cached engine, last of {max(1, args.repeat)} "
               f"run(s) per cell)\n")

@@ -17,7 +17,9 @@ runs) plus the calibrated probe-count estimator used by the cost model.
 """
 
 from repro.core.grouping import GroupAssignment, group_rows
-from repro.core.hashtable import HashTable, expected_probes, simulate_insertions
+from repro.core.hashtable import (HashTable, expected_probes,
+                                  simulate_insertions,
+                                  simulate_insertions_rows)
 from repro.core.params import GroupParams, GroupTable, build_group_table
 from repro.core.spgemm import HashSpGEMM, hash_spgemm
 
@@ -32,4 +34,5 @@ __all__ = [
     "group_rows",
     "hash_spgemm",
     "simulate_insertions",
+    "simulate_insertions_rows",
 ]

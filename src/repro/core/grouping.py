@@ -80,6 +80,51 @@ def _bounds(params: GroupParams, metric: str) -> tuple[int, float]:
     return lo, (np.inf if hi is None else hi)
 
 
+def _partition_edges(table: GroupTable, metric: str) -> "np.ndarray | None":
+    """Bucket edges when the table's ranges tile ``[0, inf)`` exactly.
+
+    Returns the ascending group thresholds (one per group boundary) when
+    the ranges are contiguous, non-overlapping and start at zero -- the
+    shape every Table I configuration (tuned or not) has -- so group
+    assignment reduces to one ``searchsorted``.  Returns ``None`` for
+    any other shape (the first-match scan then applies).
+    """
+    bounds = sorted((_bounds(p, metric) for p in table), key=lambda b: b[0])
+    if bounds[0][0] != 0 or bounds[-1][1] != np.inf:
+        return None
+    for (_, hi), (lo, _) in zip(bounds[:-1], bounds[1:]):
+        if lo != hi + 1:
+            return None
+    return np.asarray([lo for lo, _ in bounds[1:]])
+
+
+def assign_gids(counts: np.ndarray, table: GroupTable,
+                metric: str) -> np.ndarray:
+    """Per-row group ids (int8), first-match over the table's ranges.
+
+    Vectorized: when the ranges tile ``[0, inf)`` (every real table),
+    one ``searchsorted`` against the ascending thresholds replaces the
+    per-group mask scan; otherwise the scan runs, preserving exact
+    first-match semantics for pathological hand-built tables.  Both
+    paths produce identical assignments on partitioning tables
+    (``tests/test_vectorized.py`` property-checks this).
+    """
+    counts = np.asarray(counts)
+    edges = _partition_edges(table, metric)
+    if edges is not None:
+        # bucket index in ascending-lo order -> gid of that bucket
+        order = np.argsort([_bounds(p, metric)[0] for p in table],
+                           kind="stable")
+        gid_of_bucket = np.asarray([p.gid for p in table],
+                                   dtype=np.int8)[order]
+        return gid_of_bucket[np.searchsorted(edges, counts, side="right")]
+    gids = np.full(counts.shape[0], -1, dtype=np.int8)
+    for params in table:
+        lo, hi = _bounds(params, metric)
+        gids[(counts >= lo) & (counts <= hi) & (gids == -1)] = params.gid
+    return gids
+
+
 def group_rows(counts: np.ndarray, table: GroupTable,
                metric: str) -> GroupAssignment:
     """Assign each row to its group by ``counts`` (products or nnz).
@@ -89,19 +134,13 @@ def group_rows(counts: np.ndarray, table: GroupTable,
     count (which would be a bug in the table construction).
     """
     counts = np.asarray(counts)
-    n = counts.shape[0]
-    gids = np.full(n, -1, dtype=np.int8)
-    rows_by_group: list[np.ndarray] = []
-    for params in table:
-        lo, hi = _bounds(params, metric)
-        mask = (counts >= lo) & (counts <= hi) & (gids == -1)
-        rows = np.flatnonzero(mask).astype(INDEX_DTYPE)
-        gids[rows] = params.gid
-        rows_by_group.append(rows)
+    gids = assign_gids(counts, table, metric)
     uncovered = int((gids == -1).sum())
     if uncovered:
         bad = counts[gids == -1][:5]
         raise AlgorithmError(
             f"{uncovered} rows not covered by group table (counts {bad})")
+    rows_by_group = [np.flatnonzero(gids == params.gid).astype(INDEX_DTYPE)
+                     for params in table]
     return GroupAssignment(table=table, metric=metric, gids=gids,
                            rows_by_group=rows_by_group)

@@ -127,6 +127,63 @@ def simulate_insertions(keys: np.ndarray, size: int) -> tuple[int, int]:
     return t.count, t.probes
 
 
+def simulate_insertions_rows(keys: np.ndarray, row_ptr: np.ndarray,
+                             size: int, *,
+                             scal: int = HASH_SCAL
+                             ) -> tuple[np.ndarray, np.ndarray]:
+    """Exact Alg. 5 insertion of many rows' keys, one fresh table per row.
+
+    ``keys[row_ptr[i]:row_ptr[i+1]]`` are row ``i``'s keys.  Returns the
+    per-row ``(distinct, probes)`` arrays, identical to running
+    :func:`simulate_insertions` on each row separately -- the tests
+    property-check that.  The vectorization is *across* rows: all rows
+    insert their ``t``-th key in lockstep, and within one insertion the
+    unresolved rows advance their probe cursors together.  Within a row
+    the insertions stay strictly sequential (probing depends on every
+    earlier insertion of the same row, so per-row order is load-bearing).
+
+    Raises :class:`HashTableError` exactly when the per-row simulation
+    would: some insertion probing all ``size`` slots without placing its
+    key (the hash-table-full fault boundary).
+    """
+    if size < 1 or size & (size - 1):
+        raise HashTableError(f"table size {size} is not a power of two")
+    keys = np.asarray(keys, dtype=np.int64)
+    row_ptr = np.asarray(row_ptr, dtype=np.int64)
+    if keys.size and keys.min() < 0:
+        raise HashTableError(f"negative key {int(keys.min())}")
+    n_rows = row_ptr.shape[0] - 1
+    lens = np.diff(row_ptr)
+    distinct = np.zeros(n_rows, dtype=np.int64)
+    probes = np.zeros(n_rows, dtype=np.int64)
+    if n_rows == 0 or keys.size == 0:
+        return distinct, probes
+    table = np.full((n_rows, size), HASH_EMPTY, dtype=np.int64)
+    for t in range(int(lens.max())):
+        rows = np.flatnonzero(lens > t)
+        k = keys[row_ptr[rows] + t]
+        h = (k * scal) % size
+        pending = np.arange(rows.shape[0])
+        for _ in range(size):
+            slot = table[rows[pending], h[pending]]
+            probes[rows[pending]] += 1
+            hit = slot == k[pending]
+            empty = slot == HASH_EMPTY
+            place = pending[empty]
+            if place.size:
+                table[rows[place], h[place]] = k[place]
+                distinct[rows[place]] += 1
+            pending = pending[~(hit | empty)]
+            if pending.size == 0:
+                break
+            h[pending] = (h[pending] + 1) % size
+        if pending.size:
+            raise HashTableError(
+                f"table of size {size} overflowed inserting key "
+                f"{int(k[pending[0]])}")
+    return distinct, probes
+
+
 def expected_probes(n_total: float | np.ndarray, n_distinct: float | np.ndarray,
                     size: float | np.ndarray) -> np.ndarray:
     """Expected total probe count for hashing ``n_total`` keys with

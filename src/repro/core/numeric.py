@@ -19,7 +19,7 @@ from repro.core.grouping import GroupAssignment
 from repro.core.params import ASSIGN_GLOBAL, ASSIGN_PWARP, GroupParams
 from repro.gpu.device import DeviceSpec
 from repro.gpu.kernel import BlockWorks, KernelLaunch
-from repro.types import Precision, next_pow2
+from repro.types import Precision, next_pow2_array
 
 
 @dataclass
@@ -103,8 +103,8 @@ def group0_table_entries(nnz_out_rows: np.ndarray) -> np.ndarray:
     The factor 2 keeps the load factor at or below 0.5, mirroring the slack
     the symbolic tables get from being sized on intermediate products.
     """
-    return np.array([next_pow2(2 * int(n)) for n in nnz_out_rows],
-                    dtype=np.float64)
+    doubled = 2 * np.asarray(nnz_out_rows, dtype=np.int64)
+    return next_pow2_array(doubled).astype(np.float64)
 
 
 def plan_numeric(A, assignment: GroupAssignment, row_products: np.ndarray,

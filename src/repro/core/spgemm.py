@@ -146,8 +146,8 @@ class HashSpGEMM(SpGEMMAlgorithm):
         C = plan.numeric_values(A, B, p)
         ctx.note_stats(n_products=plan.n_products, nnz_out=plan.nnz_out)
 
-        for g in plan.num_group_stats():
-            ctx.emit(OBS.GROUPING, "numeric", **g)
+        if ctx.observed:
+            ctx.emit_each(OBS.GROUPING, "numeric", plan.num_group_stats())
 
         # the output malloc is values-only: rpt/col live in the plan
         c_val = ctx.alloc("C_values",
@@ -155,8 +155,8 @@ class HashSpGEMM(SpGEMMAlgorithm):
                           phase="malloc")
 
         num_plan = plan.numeric_plan(A, p, device)
-        for s in num_plan.table_stats:
-            ctx.emit(OBS.HASH_STATS, "numeric", **s)
+        if ctx.observed:
+            ctx.emit_each(OBS.HASH_STATS, "numeric", num_plan.table_stats)
         g0_tables = None
         if num_plan.global_table_bytes:
             g0_tables = ctx.alloc("g0_numeric_tables",
@@ -190,8 +190,9 @@ class HashSpGEMM(SpGEMMAlgorithm):
         ctx.run("setup", [count_products_kernel(A)],
                 use_streams=self.use_streams)
         sym_groups = self._group(row_products, table, "products")
-        for g in sym_groups.stats(row_products):
-            ctx.emit(OBS.GROUPING, "symbolic", **g)
+        if ctx.observed:
+            ctx.emit_each(OBS.GROUPING, "symbolic",
+                          sym_groups.stats(row_products))
         d_sym_groups = ctx.alloc("group_rows_symbolic",
                                  sym_groups.device_bytes(), phase="setup")
         ctx.run("setup", [pass_over_rows_kernel("grouping_symbolic", n_rows, 4.0)],
@@ -200,8 +201,8 @@ class HashSpGEMM(SpGEMMAlgorithm):
         # ---- (3) count: symbolic kernels, one stream per group ----
         d_nnz = ctx.alloc("row_nnz", 4 * (n_rows + 1), phase="setup")
         sym_plan = plan_symbolic(A, sym_groups, row_products, row_nnz, device)
-        for s in sym_plan.table_stats:
-            ctx.emit(OBS.HASH_STATS, "symbolic", **s)
+        if ctx.observed:
+            ctx.emit_each(OBS.HASH_STATS, "symbolic", sym_plan.table_stats)
         ctx.run("count", sym_plan.kernels, use_streams=self.use_streams)
         if sym_plan.retry_kernel is not None:
             tables = ctx.alloc("g0_symbolic_tables",
@@ -222,8 +223,8 @@ class HashSpGEMM(SpGEMMAlgorithm):
 
         # ---- (6) setup: numeric grouping by nnz ----
         num_groups = self._group(row_nnz, table, "nnz")
-        for g in num_groups.stats(row_nnz):
-            ctx.emit(OBS.GROUPING, "numeric", **g)
+        if ctx.observed:
+            ctx.emit_each(OBS.GROUPING, "numeric", num_groups.stats(row_nnz))
         d_num_groups = ctx.alloc("group_rows_numeric",
                                  num_groups.device_bytes(), phase="setup")
         ctx.run("setup", [pass_over_rows_kernel("grouping_numeric", n_rows, 4.0)],
@@ -231,8 +232,8 @@ class HashSpGEMM(SpGEMMAlgorithm):
 
         # ---- (7) calc: numeric kernels, one stream per group ----
         num_plan = plan_numeric(A, num_groups, row_products, row_nnz, p, device)
-        for s in num_plan.table_stats:
-            ctx.emit(OBS.HASH_STATS, "numeric", **s)
+        if ctx.observed:
+            ctx.emit_each(OBS.HASH_STATS, "numeric", num_plan.table_stats)
         g0_tables = None
         if num_plan.global_table_bytes:
             g0_tables = ctx.alloc("g0_numeric_tables",

@@ -25,7 +25,7 @@ from repro.core.grouping import GroupAssignment
 from repro.core.params import ASSIGN_GLOBAL, ASSIGN_PWARP, GroupParams
 from repro.gpu.device import DeviceSpec
 from repro.gpu.kernel import BlockWorks, KernelLaunch
-from repro.types import next_pow2
+from repro.types import next_pow2_array
 
 
 @dataclass
@@ -177,8 +177,7 @@ def plan_symbolic(A, assignment: GroupAssignment, row_products: np.ndarray,
             failed_mask = nnz_out > try_table
             failed = rows[failed_mask]
             if failed.shape[0]:
-                sizes = np.array([next_pow2(int(p))
-                                  for p in row_products[failed]], dtype=np.float64)
+                sizes = next_pow2_array(row_products[failed]).astype(np.float64)
                 plan.failed_rows = failed
                 plan.global_table_bytes = int(4 * sizes.sum())
                 plan.retry_kernel = _group0_retry_kernel(

@@ -24,6 +24,7 @@ CUDA kernels touch; :mod:`repro.gpu.cost` converts them into cycles.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, fields
 
 import numpy as np
@@ -132,3 +133,22 @@ class KernelLaunch:
     def n_blocks(self) -> int:
         """Grid size in blocks."""
         return len(self.works)
+
+    def work_digest(self) -> bytes:
+        """Content digest of the launch configuration and work columns.
+
+        Computed once and cached on the instance: launches are immutable
+        by contract (plans reuse them across replays and the scheduler
+        never mutates them), so the digest is stable.  The scheduler's
+        phase memo folds it into its key.
+        """
+        d = getattr(self, "_work_digest", None)
+        if d is None:
+            h = hashlib.blake2b(digest_size=16)
+            h.update(f"{self.name}|{self.block_threads}|"
+                     f"{self.shared_bytes_per_block}|{self.stream}|"
+                     f"{self.phase}|{self.tag}|".encode())
+            for col in _WORK_FIELDS:
+                h.update(getattr(self.works, col).tobytes())
+            d = self._work_digest = h.digest()
+        return d

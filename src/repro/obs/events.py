@@ -109,8 +109,39 @@ Event kinds
 
 from __future__ import annotations
 
+import contextlib
+import contextvars
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable, Iterator
+
+#: Ambient default for :attr:`repro.base.RunContext.observed`.  True --
+#: the status quo -- keeps every run fully traced; flipping it to False
+#: (via :func:`observe_runs`) makes contexts created underneath skip all
+#: event construction, the zero-overhead path for throughput-bound
+#: callers that attach no trace sink or metrics registry.  A context
+#: variable, so the serving layer can disable observability per worker
+#: thread without touching global state.
+_OBSERVED_DEFAULT = contextvars.ContextVar("repro_observed_default",
+                                           default=True)
+
+
+def observed_default() -> bool:
+    """The ambient observability default for new run contexts."""
+    return _OBSERVED_DEFAULT.get()
+
+
+@contextlib.contextmanager
+def observe_runs(flag: bool):
+    """Scope the ambient observability default to ``flag``.
+
+    ``with observe_runs(False): ...`` runs every multiply underneath on
+    the event-free fast path (reports carry an empty event list; modeled
+    clocks, phase breakdowns and results are unchanged)."""
+    token = _OBSERVED_DEFAULT.set(bool(flag))
+    try:
+        yield
+    finally:
+        _OBSERVED_DEFAULT.reset(token)
 
 KERNEL_LAUNCH = "kernel_launch"
 KERNEL_RETIRE = "kernel_retire"

@@ -58,6 +58,11 @@ class SpGEMMOptions:
         device before running; ``tune_store`` (a
         :class:`~repro.tune.TuningStore` or a path) persists tuned
         configs across processes.
+    observe
+        ``observe=False`` runs every multiply unobserved: no events are
+        constructed at all (the throughput fast path).  Reports keep
+        their timings and stats -- only the trace stream is empty.
+        Modeled seconds and numeric results are identical either way.
     algo_options
         Extra constructor kwargs for the algorithm (ablation switches
         like ``use_streams=False``, a :class:`~repro.core.params.
@@ -77,6 +82,7 @@ class SpGEMMOptions:
     tune: bool = False
     tune_store: object = None
     tune_top_k: int = 3
+    observe: bool = True
     algo_options: dict = field(default_factory=dict)
 
     def __post_init__(self):
@@ -118,7 +124,7 @@ class SpGEMMOptions:
                  str(self.engine), str(self.cache_budget_bytes),
                  str(self.resilient), str(self.memory_budget),
                  str(self.max_panels), str(self.devices), self.interconnect,
-                 str(self.tune), str(self.tune_top_k)]
+                 str(self.tune), str(self.tune_top_k), str(self.observe)]
         parts += [f"{k}={self.algo_options[k]}"
                   for k in sorted(self.algo_options)]
         return "|".join(parts)
@@ -231,6 +237,13 @@ def multiply(A: CSRMatrix, B: CSRMatrix,
             "pass either options= or option fields, not both "
             f"(got both options and {sorted(option_fields)})")
     runner = runner_for(options)
+    if not options.observe:
+        from repro.obs.events import observe_runs
+
+        with observe_runs(False):
+            return runner.multiply(A, B, precision=options.precision,
+                                   device=options.device,
+                                   matrix_name=matrix_name, faults=faults)
     return runner.multiply(A, B, precision=options.precision,
                            device=options.device, matrix_name=matrix_name,
                            faults=faults)

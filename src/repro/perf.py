@@ -1,0 +1,60 @@
+"""Fast-path switches shared by the vectorized simulator core.
+
+Two concerns live here, both deliberately tiny and dependency-free:
+
+* :func:`scalar_core_enabled` -- the ``REPRO_SCALAR_CORE=1`` escape
+  hatch.  The vectorized hot paths (the sort-recipe product cache of
+  :mod:`repro.sparse.product`, the phase-schedule memo of
+  :mod:`repro.gpu.scheduler`) are bit-identical to the original
+  scalar/recomputing paths by construction, and the dual-path
+  equivalence suite (``tests/test_vectorized.py``) holds them to it.
+  Setting the environment variable routes every multiply through the
+  original paths -- the reference the fast paths are judged against,
+  and a one-line mitigation if a fast-path bug ever ships.
+* the fast-cache registry -- every module that keeps a cross-run memo
+  registers a clearer here, so tests and the wall-clock harness can
+  restore a cold-process state with one call
+  (:func:`clear_fast_caches`).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable
+
+_ENV_FLAG = "REPRO_SCALAR_CORE"
+
+_clearers: list[Callable[[], None]] = []
+
+
+def scalar_core_enabled() -> bool:
+    """True when ``REPRO_SCALAR_CORE`` requests the original scalar paths.
+
+    Read from the environment on every call (a dict lookup -- it is
+    checked once per multiply/phase, never per element) so tests can
+    flip it with ``monkeypatch.setenv`` without reloading modules.
+    """
+    return os.environ.get(_ENV_FLAG, "") not in ("", "0")
+
+
+def register_cache_clearer(fn: Callable[[], None]) -> Callable[[], None]:
+    """Register a module's cache-drop callback; returns ``fn`` (decorator
+    friendly).  Idempotent per function object."""
+    if fn not in _clearers:
+        _clearers.append(fn)
+    return fn
+
+
+def clear_fast_caches() -> None:
+    """Drop every registered cross-run memo (cold-process state).
+
+    Covers the functional product cache, the sort-recipe cache and the
+    scheduler's phase memo; modules register themselves on import, and
+    the product cache is imported here so a bare ``clear_fast_caches()``
+    always reaches it.
+    """
+    from repro.sparse import product
+
+    product.clear_cache()
+    for fn in _clearers:
+        fn()

@@ -52,7 +52,7 @@ from repro.errors import (CircuitOpenError, JobTimeoutError, ReproError,
                           ServerOverloadedError)
 from repro.gpu.faults import FaultPlan
 from repro.obs import events as OBS
-from repro.obs.events import EventBus
+from repro.obs.events import EventBus, observe_runs
 from repro.obs.metrics import MetricsRegistry, metrics_from_events
 from repro.options import SpGEMMOptions, runner_for
 from repro.serve.breaker import STATE_VALUES, CircuitBreaker
@@ -174,14 +174,22 @@ class SpGEMMServer:
     clock / sleep:
         Injectable host clock and sleep (deterministic tests drive a
         manual clock; production uses ``time.monotonic`` / ``time.sleep``).
+    observe_runs:
+        Per-run trace events.  ``False`` executes every job unobserved
+        (no per-kernel/per-charge event construction -- the throughput
+        mode); ``True`` forces full traces; ``None`` (default) follows
+        each job's ``options.observe``.  Server-level ``serve_*`` events
+        and :meth:`metrics` are unaffected either way.
     """
 
     def __init__(self, *, options: SpGEMMOptions | None = None,
                  n_workers: int = 2, policy: ServePolicy | None = None,
                  tenant_weights: dict[str, float] | None = None,
                  faults: FaultPlan | None = None,
-                 clock=time.monotonic, sleep=time.sleep) -> None:
+                 clock=time.monotonic, sleep=time.sleep,
+                 observe_runs: bool | None = None) -> None:
         self.options = options or SpGEMMOptions()
+        self.observe = observe_runs
         self.policy = policy or ServePolicy()
         self.faults = faults
         self._clock = clock
@@ -466,10 +474,13 @@ class SpGEMMServer:
         runner = runners.get(token)
         if runner is None:
             runner = runners[token] = runner_for(opts)
-        return runner.multiply(A, B, precision=opts.precision,
-                               device=opts.device,
-                               matrix_name=job.matrix_name,
-                               faults=faults)
+        observed = self.observe if self.observe is not None else opts.observe
+        # set inside the worker thread: contextvars do not cross threads
+        with observe_runs(bool(observed)):
+            return runner.multiply(A, B, precision=opts.precision,
+                                   device=opts.device,
+                                   matrix_name=job.matrix_name,
+                                   faults=faults)
 
     def _degraded_options(self, job: ServedJob,
                           opts: SpGEMMOptions) -> SpGEMMOptions:

@@ -195,13 +195,17 @@ class CSRMatrix:
         if any(p.n_cols != n_cols for p in parts):
             raise ShapeMismatchError(
                 f"vstack: column counts differ: {[p.n_cols for p in parts]}")
-        rpt = [parts[0].rpt]
-        offset = parts[0].nnz
-        for p in parts[1:]:
-            rpt.append(p.rpt[1:] + offset)
-            offset += p.nnz
         n_rows = sum(p.n_rows for p in parts)
-        return cls(np.concatenate(rpt),
+        # one preallocated row pointer, each panel's slice written in
+        # place with its nnz offset -- no intermediate per-panel arrays
+        rpt = np.empty(n_rows + 1, dtype=INDEX_DTYPE)
+        rpt[0] = 0
+        pos, offset = 1, 0
+        for p in parts:
+            rpt[pos:pos + p.n_rows] = p.rpt[1:] + offset
+            pos += p.n_rows
+            offset += p.nnz
+        return cls(rpt,
                    np.concatenate([p.col for p in parts]),
                    np.concatenate([p.val for p in parts]),
                    (n_rows, n_cols), check=False)

@@ -109,6 +109,118 @@ def expand_products(A, B, *, with_values: bool = True) -> Expansion:
     return Expansion(rows, cols, vals, row_counts)
 
 
+class SortRecipe(NamedTuple):
+    """The value-independent part of one expansion + contraction.
+
+    For a fixed pair of sparsity patterns, the lexsort permutation, the
+    duplicate-run boundaries and the output-CSR structure never change --
+    only the multiplied values do.  A recipe captures all of it, so a
+    later multiply with fresh values on the same patterns reduces to a
+    gather, an elementwise multiply and one ``np.add.reduceat``
+    (:func:`values_from_recipe`), bit-identical to re-running
+    :func:`expand_products` + :func:`contract` from scratch.
+
+    Attributes
+    ----------
+    a_idx / b_idx: per intermediate product (in (row, col)-sorted order),
+        the flat index of the contributing A and B nonzero.
+    starts: ``reduceat`` boundaries of the duplicate runs.
+    rpt / col: the output-CSR structure.
+    row_counts: Alg. 2 per-row product counts.
+    shape: output shape.
+    """
+
+    a_idx: np.ndarray
+    b_idx: np.ndarray
+    starts: np.ndarray
+    rpt: np.ndarray
+    col: np.ndarray
+    row_counts: np.ndarray
+    shape: tuple[int, int]
+
+    @property
+    def n_products(self) -> int:
+        """Total intermediate products."""
+        return int(self.a_idx.shape[0])
+
+    def nbytes(self) -> int:
+        """Host memory retained by the recipe (cache accounting)."""
+        return sum(int(a.nbytes) for a in
+                   (self.a_idx, self.b_idx, self.starts, self.rpt,
+                    self.col, self.row_counts))
+
+
+def build_sort_recipe(A, B) -> SortRecipe:
+    """Capture the sort/merge structure of ``A @ B`` (values untouched).
+
+    The per-product A index is position ``j`` repeated over run ``j``'s
+    length and the B index is the same ``b_flat`` the expansion gathers;
+    both are then permuted by the (row, col) lexsort that
+    :func:`contract` would apply, so gathering values through them and
+    reducing at ``starts`` reproduces the contraction exactly.
+    """
+    check_multiplicable(A, B)
+    shape = (A.n_rows, B.n_cols)
+    b_row_nnz = np.diff(B.rpt)
+    run_len = b_row_nnz[A.col]
+    total = int(run_len.sum())
+    row_counts = np.zeros(A.n_rows, dtype=INDEX_DTYPE)
+    nz_rows = np.diff(A.rpt) > 0
+    a_starts = A.rpt[:-1][nz_rows]
+    if a_starts.size:
+        row_counts[nz_rows] = np.add.reduceat(run_len, a_starts)
+
+    empty_i = np.empty(0, dtype=INDEX_DTYPE)
+    if total == 0:
+        rpt = np.zeros(A.n_rows + 1, dtype=INDEX_DTYPE)
+        return SortRecipe(empty_i, empty_i.copy(), empty_i.copy(), rpt,
+                          empty_i.copy(), row_counts, shape)
+
+    run_offsets = np.concatenate(([0], np.cumsum(run_len)[:-1]))
+    within = np.arange(total, dtype=INDEX_DTYPE) - np.repeat(run_offsets, run_len)
+    b_flat = np.repeat(B.rpt[A.col], run_len) + within
+    a_flat = np.repeat(np.arange(A.col.shape[0], dtype=INDEX_DTYPE), run_len)
+
+    a_rows = np.repeat(np.arange(A.n_rows, dtype=INDEX_DTYPE), np.diff(A.rpt))
+    rows = np.repeat(a_rows, run_len)
+    cols = B.col[b_flat]
+
+    # rows are nondecreasing by construction, so a single stable argsort
+    # of the fused (row, col) key equals lexsort((cols, rows)) -- same
+    # permutation, one sort pass instead of two.  Guard the fusion
+    # against int64 overflow for pathological shapes.
+    if A.n_rows * B.n_cols < 2**62:
+        order = np.argsort(rows * np.int64(B.n_cols) + cols, kind="stable")
+    else:   # pragma: no cover - needs a >2^31-column matrix
+        order = np.lexsort((cols, rows))
+    r, c = rows[order], cols[order]
+    new_run = np.empty(r.shape[0], dtype=bool)
+    new_run[0] = True
+    new_run[1:] = (r[1:] != r[:-1]) | (c[1:] != c[:-1])
+    starts = np.flatnonzero(new_run)
+    out_col = c[starts]
+    counts = np.bincount(r[starts], minlength=A.n_rows)
+    rpt = np.zeros(A.n_rows + 1, dtype=INDEX_DTYPE)
+    np.cumsum(counts, out=rpt[1:])
+    return SortRecipe(a_flat[order], b_flat[order], starts, rpt, out_col,
+                      row_counts, shape)
+
+
+def values_from_recipe(recipe: SortRecipe, A, B) -> np.ndarray:
+    """Output values (float64) of ``A @ B`` along a captured recipe.
+
+    Bit-identical to the :func:`expand_products` + :func:`contract` pair:
+    the same value pairs are multiplied in the same operand dtype, cast
+    to float64, and reduced over the same boundaries in the same order --
+    only the lexsort itself is skipped.
+    """
+    if recipe.n_products == 0:
+        return np.empty(0, dtype=np.float64)
+    v = (A.val[recipe.a_idx] * B.val[recipe.b_idx]).astype(np.float64,
+                                                           copy=False)
+    return np.add.reduceat(v, recipe.starts)
+
+
 def contract(rows: np.ndarray, cols: np.ndarray, vals: np.ndarray,
              shape: tuple[int, int], dtype: np.dtype):
     """Sort products by (row, col) and sum duplicates into canonical CSR.

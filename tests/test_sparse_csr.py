@@ -251,3 +251,35 @@ class TestColPanelHstack:
     def test_hstack_empty_list(self):
         with pytest.raises(SparseFormatError, match="zero panels"):
             CSRMatrix.hstack([])
+
+
+class TestVstackPinned:
+    """Regression pins for the preallocated (O(nnz)) vstack rebuild."""
+
+    def test_round_trip_many_panels(self, small_banded):
+        cuts = [0, 1, 7, 8, 64, 64, 130, 200]
+        parts = [small_banded.row_panel(lo, hi)
+                 for lo, hi in zip(cuts[:-1], cuts[1:])]
+        back = CSRMatrix.vstack(parts)
+        # bit-identical reassembly, including through the empty panel
+        np.testing.assert_array_equal(back.rpt, small_banded.rpt)
+        np.testing.assert_array_equal(back.col, small_banded.col)
+        np.testing.assert_array_equal(back.val, small_banded.val)
+        assert back.shape == small_banded.shape
+
+    def test_dtypes_and_offsets_pinned(self, tiny):
+        stacked = CSRMatrix.vstack([tiny, tiny, tiny])
+        assert stacked.rpt.dtype == tiny.rpt.dtype
+        assert stacked.n_rows == 3 * tiny.n_rows
+        # each copy's pointer block is the original shifted by k * nnz
+        n, nnz = tiny.n_rows, tiny.nnz
+        for k in range(3):
+            np.testing.assert_array_equal(
+                stacked.rpt[k * n:(k + 1) * n + 1] - k * nnz, tiny.rpt)
+
+    def test_all_empty_panels(self):
+        empty = CSRMatrix.from_dense(np.zeros((4, 5)))
+        stacked = CSRMatrix.vstack([empty, empty])
+        assert stacked.shape == (8, 5)
+        assert stacked.nnz == 0
+        np.testing.assert_array_equal(stacked.rpt, np.zeros(9, dtype=stacked.rpt.dtype))
