@@ -14,7 +14,9 @@ deterministic -- and the p99 modeled latency of completed jobs is
 fenced like every other modeled figure), plus the E20 wall-clock slice
 (median-of-5 *real* seconds of the E16/E17 iterative suites from
 :mod:`repro.bench.wallclock`, fenced at 1.5x -- the one gate on the
-simulator's own host cost rather than its modeled output).
+simulator's own host cost rather than its modeled output), plus the E21
+cross-backend slice (schema 6: the same datasets through every CPU
+preset's native algorithms, and the exact GPU-vs-CPU crossover tally).
 All other compared quantities are *modeled* device numbers, so they are
 exactly reproducible across runners; the overall wall-clock is recorded
 for context and only fenced loosely (runner variance).
@@ -50,7 +52,13 @@ WALLCLOCK_REPEATS = 5
 #: The pinned subset: one high- and one low-throughput analogue.
 DATASETS = ("Protein", "Circuit")
 PRECISION = "single"
-SCHEMA = 5
+SCHEMA = 6
+
+#: The cross-backend slice (E21): the same datasets through every CPU
+#: preset, plus the architecture-crossover tally (which architecture's
+#: flagship wins each dataset -- exact, the modeled numbers are
+#: deterministic).
+CPU_DEVICES = ("KNL64", "XEON24")
 
 #: The distributed slice (E17): steady-state pool sizes to pin per dataset.
 DIST_DEVICES = 4
@@ -123,6 +131,40 @@ def collect() -> dict:
                     "default_seconds": res.default_seconds,
                     "tune_speedup": res.speedup,
                     "overrides": res.overrides.describe()})
+
+    # the E21 slice (schema 6): the same datasets through the CPU
+    # backend's presets and algorithms, plus the crossover tally
+    from repro.baselines.registry import CPU_DISPLAY_ORDER
+    from repro.cpu import CPU_PRESETS
+
+    gpu_seconds = {r.dataset: r.report.total_seconds for r in runs
+                   if r.report is not None and r.algorithm == "proposal"}
+    cpu_best: dict = {}
+    for preset in CPU_DEVICES:
+        cpu_runs = run_suite(list(DATASETS), algorithms=CPU_DISPLAY_ORDER,
+                             precisions=(PRECISION,),
+                             device=CPU_PRESETS[preset])
+        for r in cpu_runs:
+            if r.report is None:
+                out.append({"dataset": r.dataset,
+                            "algorithm": f"{r.algorithm}@{preset}",
+                            "oom": True})
+                continue
+            out.append({"dataset": r.dataset,
+                        "algorithm": f"{r.algorithm}@{preset}",
+                        "gflops": r.gflops,
+                        "total_seconds": r.report.total_seconds})
+            if r.algorithm == "hash-cpu":
+                prev = cpu_best.get(r.dataset)
+                now = r.report.total_seconds
+                cpu_best[r.dataset] = now if prev is None else min(prev, now)
+    gpu_wins = sum(1 for d in DATASETS
+                   if d in gpu_seconds and d in cpu_best
+                   and gpu_seconds[d] < cpu_best[d])
+    out.append({"dataset": "cross-arch", "algorithm": "crossover",
+                "total_seconds": sum(cpu_best.values()),
+                "gpu_wins": gpu_wins,
+                "cpu_wins": len(cpu_best) - gpu_wins})
 
     # the E19 slice: the pinned chaos storm through the serving layer
     from repro.bench.runner import run_serve_storm
@@ -208,9 +250,10 @@ def compare(baseline: dict, current: dict) -> list[str]:
                     f"(x{b['tune_speedup']:.3f} -> "
                     f"x{c.get('tune_speedup', 1.0):.3f})")
         for field in ("serve_completed", "serve_retries", "serve_degraded",
-                      "serve_naive_completed"):
-            # the serve slice's counts are deterministic: any drift is a
-            # behavior change, not noise -- refresh the baseline on purpose
+                      "serve_naive_completed", "gpu_wins", "cpu_wins"):
+            # serve counts and the E21 crossover tally are deterministic:
+            # any drift is a behavior change, not noise -- refresh the
+            # baseline on purpose
             if field in b and c.get(field) != b[field]:
                 problems.append(f"{where}: {field} changed "
                                 f"{b[field]} -> {c.get(field)}")

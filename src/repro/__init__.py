@@ -52,7 +52,17 @@ from repro.errors import (
     ShapeMismatchError,
     SparseFormatError,
     UnknownAlgorithmError,
+    UnknownDeviceError,
 )
+from repro.backend import (
+    Backend,
+    backend_for_spec,
+    backends,
+    device_presets,
+    register_backend,
+    resolve_device,
+)
+from repro.cpu import CPU_PRESETS, KNL64, XEON24, CPUParams, CPUSpec
 from repro.options import SpGEMMOptions, multiply, runner_for
 from repro.serve import ServedJob, ServePolicy, SpGEMMServer
 from repro.tune import Autotuner, TunedSpGEMM, TuningStore
@@ -69,8 +79,12 @@ __version__ = "1.0.0"
 
 __all__ = [
     "Autotuner",
+    "Backend",
     "BatchJob",
     "COOMatrix",
+    "CPUParams",
+    "CPUSpec",
+    "CPU_PRESETS",
     "CSRMatrix",
     "DevicePool",
     "DeviceSpec",
@@ -80,6 +94,7 @@ __all__ = [
     "HashSpGEMM",
     "Interconnect",
     "K40",
+    "KNL64",
     "P100",
     "ParamOverrides",
     "Precision",
@@ -97,7 +112,13 @@ __all__ = [
     "TunedSpGEMM",
     "TuningStore",
     "VEGA56",
+    "XEON24",
     "algorithms",
+    "backend_for_spec",
+    "backends",
+    "device_presets",
+    "register_backend",
+    "resolve_device",
     "build_group_table",
     "generators",
     "hash_spgemm",
@@ -124,6 +145,7 @@ __all__ = [
     "ShapeMismatchError",
     "SparseFormatError",
     "UnknownAlgorithmError",
+    "UnknownDeviceError",
 ]
 
 

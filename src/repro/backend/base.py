@@ -1,0 +1,153 @@
+"""The hardware-abstraction layer: what a backend must provide.
+
+A :class:`Backend` bundles everything the rest of the stack needs to
+know about one architecture family:
+
+* the **spec type** and its named **presets** (``DeviceSpec``/``P100``
+  for the GPU, ``CPUSpec``/``KNL64`` for the CPU);
+* the **scheduler** (``simulate_phase``) and the analytic **cost model**
+  (``kernel_duration_alone``) -- both consuming the shared
+  :class:`~repro.gpu.kernel.KernelLaunch` vocabulary, so
+  :class:`~repro.base.RunContext` accounting is backend-agnostic;
+* the **native algorithms** of the architecture and how to translate a
+  foreign algorithm name onto it (heterogeneous ``dist`` pools);
+* the **tuning hooks**: the override type, its search grid and the
+  sketch-level objective, so :class:`~repro.tune.tuner.Autotuner`
+  searches each backend's genuinely different parameter space through
+  one code path.
+
+Backends register with :mod:`repro.backend.registry`; dispatch is by
+``isinstance`` on the spec (:func:`~repro.backend.registry.
+backend_for_spec`), so existing call sites that pass a raw spec keep
+working unchanged -- and, for the GPU, keep returning bit-identical
+schedules, because the GPU backend's methods *are* the pre-existing
+module functions.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import TYPE_CHECKING, Any, Callable
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.gpu.faults import FaultPlan
+    from repro.gpu.kernel import KernelLaunch
+    from repro.gpu.scheduler import PhaseSchedule
+    from repro.tune.sketch import MatrixSketch
+    from repro.types import Precision
+
+#: Algorithm names that belong to no backend (wrappers composing an
+#: inner algorithm); translation leaves them untouched.
+NEUTRAL_ALGORITHMS = ("resilient", "engine", "dist", "tune")
+
+
+class Backend(abc.ABC):
+    """One architecture family behind the hardware-abstraction layer."""
+
+    #: registry key ('gpu', 'cpu')
+    name: str = "abstract"
+    #: the spec dataclass this backend's models consume
+    spec_type: type = object
+    #: named presets exposed through ``--device`` and pool names
+    presets: dict[str, Any] = {}
+    #: spec used when an algorithm of this backend is handed a foreign one
+    default_preset: Any = None
+    #: registry names of the algorithms native to this architecture
+    algorithms: tuple[str, ...] = ()
+    #: translation target for a foreign algorithm name
+    default_algorithm: str = "abstract"
+    #: robust second rung of the resilience ladder on this architecture
+    fallback_algorithm: str = "abstract"
+
+    # -- execution model -----------------------------------------------------
+
+    #: Discrete-event scheduler with the :func:`repro.gpu.scheduler.
+    #: simulate_phase` signature: ``(kernels, spec, precision, *,
+    #: start_time, use_streams, faults) -> PhaseSchedule``.  Declared as
+    #: an attribute (not an abstract method) so a backend may install a
+    #: pre-existing module function unchanged -- the GPU backend does,
+    #: which is what makes the refactor bit-identical by construction.
+    simulate_phase: Callable[..., "PhaseSchedule"]
+
+    #: Analytic makespan of one kernel alone: ``(kernel, spec,
+    #: precision) -> float`` (the tuner's sketch-scoring primitive).
+    kernel_duration_alone: Callable[..., float]
+
+    def check_faults(self, kernels: "list[KernelLaunch]",
+                     faults: "FaultPlan | None") -> None:
+        """Raise for any injected kernel fault (both schedulers already
+        do this first; exposed for analytic callers)."""
+        if faults is None:
+            return
+        from repro.errors import HashTableError
+
+        for k in kernels:
+            event = faults.check_kernel(k.name)
+            if event is not None:
+                raise HashTableError(
+                    f"hash table full in kernel {k.name!r} "
+                    f"(injected: {event.rule})")
+
+    # -- heterogeneous pools --------------------------------------------------
+
+    def work_weight(self, spec: Any) -> float:
+        """Relative throughput weight of ``spec`` for work partitioning.
+
+        SpGEMM is bandwidth-bound, so the scale is sustained memory
+        bandwidth in GB/s; backends apply an architecture efficiency
+        factor on top.  The GPU backend returns the raw figure, keeping
+        historical single-architecture partitions bit-identical.
+        """
+        return float(spec.mem_bandwidth_gbps)
+
+    def native_algorithm(self, name: str) -> str:
+        """Translate a registry algorithm name onto this architecture.
+
+        Native names and wrapper names pass through; a name owned by a
+        *different* backend maps to :attr:`default_algorithm` (so a
+        mixed pool asked for 'proposal' runs 'hash-cpu' on its CPU
+        slots).  Unknown names also pass through -- the registry is the
+        one that raises :class:`~repro.errors.UnknownAlgorithmError`.
+        """
+        if name in self.algorithms or name in NEUTRAL_ALGORITHMS:
+            return name
+        from repro.backend.registry import backends
+
+        for other in backends().values():
+            if other is not self and name in other.algorithms:
+                return self.default_algorithm
+        return name
+
+    # -- tuning hooks ---------------------------------------------------------
+
+    @abc.abstractmethod
+    def default_overrides(self) -> Any:
+        """The all-default override object of this backend's param type."""
+
+    @abc.abstractmethod
+    def decode_overrides(self, d: dict) -> Any:
+        """Decode a ``to_dict`` store entry back to the param type."""
+
+    @abc.abstractmethod
+    def tuning_candidates(self, spec: Any) -> list:
+        """The search grid for ``spec`` (candidate 0 is the default)."""
+
+    @abc.abstractmethod
+    def modeled_total(self, sketch: "MatrixSketch", spec: Any,
+                      precision: "Precision | str", overrides: Any) -> float:
+        """Analytic objective on a sketch; ``inf`` when infeasible."""
+
+    @abc.abstractmethod
+    def tuning_algorithm(self, overrides: Any) -> Any:
+        """A fresh native algorithm instance carrying ``overrides`` (the
+        tuner's measurement vehicle)."""
+
+    # -- presentation ---------------------------------------------------------
+
+    def render_info(self, spec: Any) -> str:
+        """Human-readable description of ``spec`` for the CLI."""
+        return f"{spec.name} [{self.name}]"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging nicety
+        return (f"<{type(self).__name__} {self.name!r} "
+                f"presets={sorted(self.presets)}>")

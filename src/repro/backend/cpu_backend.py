@@ -1,0 +1,89 @@
+"""The CPU backend: multicore machines behind the abstraction.
+
+Scheduler and cost model come from :mod:`repro.cpu`; the tuning hooks
+search the CPU-native parameter space (:class:`~repro.cpu.params.
+CPUParams`: threads, block rows, bin count) -- a genuinely different
+grid from the GPU's Table I, which is the point of having a second
+backend.  The algorithm hooks import :mod:`repro.cpu.algorithms`
+lazily: that module derives from :mod:`repro.base`, which imports this
+package.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.backend.base import Backend
+from repro.cpu.cost import kernel_duration_alone
+from repro.cpu.device import CPU_PRESETS, KNL64, CPUSpec
+from repro.cpu.params import CPUParams
+from repro.cpu.scheduler import simulate_cpu_phase
+
+#: Architecture efficiency factor on the bandwidth-based work weight:
+#: a CPU sustains roughly half a GPU's SpGEMM throughput per GB/s of
+#: stream bandwidth (fewer outstanding misses to hide irregular
+#: accesses behind; see Nagasaka-Azad Fig. 9 vs the paper's Fig. 7).
+CPU_WEIGHT_EFFICIENCY = 0.5
+
+
+class CPUBackend(Backend):
+    """Multicore CPUs costed by the cache-based model of :mod:`repro.cpu`."""
+
+    name = "cpu"
+    spec_type = CPUSpec
+    presets = CPU_PRESETS
+    default_preset = KNL64
+    algorithms = ("hash-cpu", "heap-cpu", "propblock")
+    default_algorithm = "hash-cpu"
+    # the heap accumulator needs no hash tables at all, so it is immune
+    # to the hash-table-full fault class -- the natural second rung
+    fallback_algorithm = "heap-cpu"
+
+    simulate_phase = staticmethod(simulate_cpu_phase)
+    kernel_duration_alone = staticmethod(kernel_duration_alone)
+
+    def work_weight(self, spec: CPUSpec) -> float:
+        return float(spec.mem_bandwidth_gbps) * CPU_WEIGHT_EFFICIENCY
+
+    # -- tuning hooks ---------------------------------------------------------
+
+    def default_overrides(self) -> CPUParams:
+        return CPUParams()
+
+    def decode_overrides(self, d: dict) -> CPUParams:
+        return CPUParams.from_dict(d)
+
+    def tuning_candidates(self, spec: CPUSpec) -> list:
+        from repro.cpu.plan import candidate_space
+
+        return candidate_space(spec)
+
+    def modeled_total(self, sketch, spec: CPUSpec, precision,
+                      overrides: CPUParams) -> float:
+        from repro.cpu.plan import modeled_hash_total
+
+        return modeled_hash_total(sketch, spec, precision, overrides)
+
+    def tuning_algorithm(self, overrides: CPUParams) -> Any:
+        from repro.cpu.algorithms import HashCPUSpGEMM
+
+        return HashCPUSpGEMM(params=overrides)
+
+    # -- presentation ---------------------------------------------------------
+
+    def render_info(self, spec: CPUSpec) -> str:
+        llc = (f"{spec.llc_bytes / 1024 ** 2:.0f} MB LLC" if spec.llc_bytes
+               else "no LLC (flat mode)")
+        return "\n".join([
+            f"device: {spec.name} [{self.name}]",
+            f"  cores: {spec.cores} x {spec.smt} SMT @ {spec.clock_ghz} GHz, "
+            f"{spec.simd_width}-wide FP64 SIMD x {spec.vector_units}",
+            f"  caches: {spec.l1_bytes // 1024} KB L1 / "
+            f"{spec.l2_bytes // 1024} KB L2 / {llc}",
+            f"  memory: {spec.global_mem_bytes / 1024 ** 3:.0f} GB @ "
+            f"{spec.mem_bandwidth_gbps:.0f} GB/s",
+        ])
+
+
+#: The singleton instance :mod:`repro.backend` registers.
+CPU_BACKEND = CPUBackend()

@@ -1,0 +1,88 @@
+"""The GPU backend: the paper's Pascal model behind the abstraction.
+
+This is a thin shell, by design: ``simulate_phase`` and
+``kernel_duration_alone`` *are* the pre-existing module functions of
+:mod:`repro.gpu.scheduler` / :mod:`repro.gpu.cost` (installed as
+staticmethods, not wrapped), and the presets are the same frozen
+:data:`~repro.gpu.device.DEVICE_PRESETS` objects -- so every schedule,
+plan-cache key and tuning-store entry produced through the backend is
+bit-identical to what the direct imports produced before the
+refactor.  The tuning hooks import :mod:`repro.tune` lazily: the tune
+package sits above :mod:`repro.base` in the import order.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.backend.base import Backend
+from repro.gpu.cost import kernel_duration_alone
+from repro.gpu.device import DEVICE_PRESETS, P100, DeviceSpec
+from repro.gpu.scheduler import simulate_phase
+
+
+class GPUBackend(Backend):
+    """CUDA-like devices costed by the Pascal model of :mod:`repro.gpu`."""
+
+    name = "gpu"
+    spec_type = DeviceSpec
+    presets = DEVICE_PRESETS
+    default_preset = P100
+    algorithms = ("proposal", "cusparse", "cusp", "bhsparse")
+    default_algorithm = "proposal"
+    fallback_algorithm = "cusparse"
+
+    # the pre-existing module functions, unwrapped: bit-identity holds
+    # because these *are* the objects every call site used before
+    simulate_phase = staticmethod(simulate_phase)
+    kernel_duration_alone = staticmethod(kernel_duration_alone)
+
+    # -- tuning hooks ---------------------------------------------------------
+
+    def default_overrides(self) -> Any:
+        from repro.core.params import ParamOverrides
+
+        return ParamOverrides()
+
+    def decode_overrides(self, d: dict) -> Any:
+        from repro.core.params import ParamOverrides
+
+        return ParamOverrides.from_dict(d)
+
+    def tuning_candidates(self, spec: DeviceSpec) -> list:
+        from repro.tune.tuner import candidate_space
+
+        return candidate_space(spec)
+
+    def modeled_total(self, sketch, spec: DeviceSpec, precision,
+                      overrides) -> float:
+        from repro.tune.tuner import modeled_total
+
+        return modeled_total(sketch, spec, precision, overrides)
+
+    def tuning_algorithm(self, overrides) -> Any:
+        from repro.core.spgemm import HashSpGEMM
+
+        return HashSpGEMM(overrides=overrides)
+
+    # -- presentation ---------------------------------------------------------
+
+    def render_info(self, spec: DeviceSpec) -> str:
+        from repro.core.params import build_group_table
+
+        lines = [
+            f"device: {spec.name} [{self.name}]",
+            f"  SMs: {spec.sm_count} x {spec.cores_per_sm} cores "
+            f"@ {spec.clock_ghz} GHz",
+            f"  shared memory: {spec.shared_mem_per_sm // 1024} KB/SM "
+            f"(max {spec.max_shared_per_block // 1024} KB/block)",
+            f"  memory: {spec.global_mem_bytes / 1024 ** 3:.0f} GB @ "
+            f"{spec.mem_bandwidth_gbps:.0f} GB/s",
+            "",
+            build_group_table(spec).render(),
+        ]
+        return "\n".join(lines)
+
+
+#: The singleton instance :mod:`repro.backend` registers.
+GPU_BACKEND = GPUBackend()

@@ -1,0 +1,93 @@
+"""Backend registration and device-preset resolution.
+
+The registry is keyed two ways: by backend name ('gpu', 'cpu') and by
+spec type (``isinstance`` dispatch, so every call site holding a raw
+spec finds its backend without knowing the taxonomy).  Preset names are
+globally unique across backends -- :func:`register_backend` enforces it
+-- which is what lets ``SpGEMMOptions(device='KNL64')``, ``--device``
+and ``DevicePool.from_names`` accept one flat namespace.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.backend.base import Backend
+from repro.errors import DeviceConfigError, UnknownDeviceError
+
+_BACKENDS: dict[str, Backend] = {}
+
+
+def register_backend(backend: Backend) -> Backend:
+    """Add ``backend`` to the registry (idempotent per name).
+
+    Raises :class:`~repro.errors.DeviceConfigError` when a preset name
+    or the spec type collides with a different registered backend.
+    """
+    for name, existing in _BACKENDS.items():
+        if name == backend.name:
+            continue
+        clash = set(existing.presets) & set(backend.presets)
+        if clash:
+            raise DeviceConfigError(
+                f"backend {backend.name!r} redefines presets "
+                f"{sorted(clash)} of backend {name!r}")
+        if existing.spec_type is backend.spec_type:
+            raise DeviceConfigError(
+                f"backend {backend.name!r} reuses the spec type of "
+                f"backend {name!r}")
+    _BACKENDS[backend.name] = backend
+    return backend
+
+
+def backends() -> dict[str, Backend]:
+    """Registered backends by name, in registration order (GPU first)."""
+    return dict(_BACKENDS)
+
+
+def backend_for_name(name: str) -> Backend:
+    """Look a backend up by its registry name."""
+    try:
+        return _BACKENDS[name]
+    except KeyError:
+        raise DeviceConfigError(
+            f"unknown backend {name!r} (registered: "
+            f"{sorted(_BACKENDS)})") from None
+
+
+def backend_for_spec(spec: Any) -> Backend:
+    """The backend whose models consume ``spec`` (isinstance dispatch)."""
+    for backend in _BACKENDS.values():
+        if isinstance(spec, backend.spec_type):
+            return backend
+    raise DeviceConfigError(
+        f"no registered backend accepts a {type(spec).__name__} spec "
+        f"(registered: {sorted(_BACKENDS)})")
+
+
+def device_presets() -> dict[str, Any]:
+    """Every named preset of every backend, merged (GPU first)."""
+    merged: dict[str, Any] = {}
+    for backend in _BACKENDS.values():
+        merged.update(backend.presets)
+    return merged
+
+
+def resolve_device(device: Any) -> Any:
+    """Resolve a device argument -- a spec or a preset name -- to a spec.
+
+    Names are case-insensitive.  An unknown name raises
+    :class:`~repro.errors.UnknownDeviceError` listing every registered
+    preset and backend; a spec object of an unregistered type raises
+    :class:`~repro.errors.DeviceConfigError` via
+    :func:`backend_for_spec`.
+    """
+    if not isinstance(device, str):
+        backend_for_spec(device)   # validate the type is registered
+        return device
+    presets = device_presets()
+    spec = presets.get(device.strip().upper())
+    if spec is None:
+        raise UnknownDeviceError(device, available=presets,
+                                 backends=_BACKENDS)
+    return spec

@@ -14,12 +14,12 @@ import abc
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
+from repro.backend import backend_for_name, backend_for_spec
 from repro.errors import AlgorithmError, ReproError, ShapeMismatchError
 from repro.gpu.device import P100, DeviceSpec
 from repro.gpu.faults import FaultPlan
 from repro.gpu.kernel import KernelLaunch
 from repro.gpu.memory import Allocation, DeviceMemory
-from repro.gpu.scheduler import simulate_phase
 from repro.gpu.timeline import PHASES, KernelRecord, SimReport
 from repro.obs import events as OBS
 from repro.obs.events import Event, EventBus
@@ -64,6 +64,9 @@ class RunContext:
         self.algorithm = algorithm
         self.matrix_name = matrix_name
         self.device = device
+        #: the hardware backend owning this spec, resolved once: all
+        #: kernel time flows through its scheduler
+        self.backend = backend_for_spec(device)
         self.precision = precision
         self.faults = faults
         #: True for a plan-cache replay: the context then refuses any
@@ -187,9 +190,9 @@ class RunContext:
                 f"({', '.join(k.name for k in kernels)})")
         if not kernels:
             return 0.0
-        sched = simulate_phase(kernels, self.device, self.precision,
-                               start_time=self.clock, use_streams=use_streams,
-                               faults=self.faults)
+        sched = self.backend.simulate_phase(
+            kernels, self.device, self.precision, start_time=self.clock,
+            use_streams=use_streams, faults=self.faults)
         dt = sched.end - self.clock
         self._charge(phase, dt, "kernels",
                      f"{len(sched.records)} kernels")
@@ -293,6 +296,10 @@ class SpGEMMAlgorithm(abc.ABC):
     #: short identifier used in benchmark tables ('proposal', 'cusp', ...)
     name: str = "abstract"
 
+    #: registry name of the hardware backend this algorithm targets; a
+    #: multiply handed a foreign spec coerces it via :meth:`_native_spec`
+    backend_name: str = "gpu"
+
     #: True when the algorithm can capture an :class:`repro.engine.plan.
     #: SpGEMMPlan` on a cold run and replay it numeric-only (the plan
     #: cache of :class:`repro.engine.SpGEMMEngine` only fronts such
@@ -326,6 +333,20 @@ class SpGEMMAlgorithm(abc.ABC):
         return False
 
     # -- shared helpers ------------------------------------------------------
+
+    def _native_spec(self, device: DeviceSpec):
+        """Coerce ``device`` onto this algorithm's own backend.
+
+        A registry-wide sweep (or a cross-architecture fallback chain)
+        may hand a GPU spec to a CPU algorithm and vice versa; the
+        algorithm then runs on its backend's default preset instead of
+        mis-costing foreign hardware.  Native specs pass through
+        untouched.
+        """
+        backend = backend_for_name(self.backend_name)
+        if isinstance(device, backend.spec_type):
+            return device
+        return backend.default_preset
 
     @staticmethod
     def _prepare(A: CSRMatrix, B: CSRMatrix,

@@ -59,6 +59,7 @@ class ESCSpGEMM(SpGEMMAlgorithm):
                  matrix_name: str = "",
                  faults: FaultPlan | None = None) -> SpGEMMResult:
         A, B, p = self._prepare(A, B, precision)
+        device = self._native_spec(device)
         with self.context(matrix_name, device, p, faults) as ctx:
             return self._multiply(ctx, A, B, p)
 

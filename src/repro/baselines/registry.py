@@ -8,6 +8,7 @@ from repro.baselines.cusparse_like import CuSparseSpGEMM
 from repro.baselines.esc import ESCSpGEMM
 from repro.core.resilient import ResilientSpGEMM
 from repro.core.spgemm import HashSpGEMM
+from repro.cpu.algorithms import HashCPUSpGEMM, HeapCPUSpGEMM, PropBlockSpGEMM
 from repro.dist.dist import DistSpGEMM
 from repro.engine.engine import SpGEMMEngine
 from repro.errors import UnknownAlgorithmError
@@ -17,12 +18,18 @@ from repro.tune.tuned import TunedSpGEMM
 #: 'resilient' (the degradation-ladder wrapper), 'engine' (the
 #: plan-cached front) and 'dist' (the multi-device driver) are
 #: infrastructure, not paper algorithms; benchmark sweeps over "the four
-#: algorithms" should use DISPLAY_ORDER.
+#: algorithms" should use DISPLAY_ORDER.  The 'hash-cpu' / 'heap-cpu' /
+#: 'propblock' entries are the multicore CPU baselines (Nagasaka et al.
+#: and Gu et al.); they run on :class:`~repro.cpu.device.CPUSpec`
+#: presets and are excluded from the GPU benchmark tables.
 ALGORITHMS: dict[str, type[SpGEMMAlgorithm]] = {
     "proposal": HashSpGEMM,
     "cusparse": CuSparseSpGEMM,
     "cusp": ESCSpGEMM,
     "bhsparse": BHSparseSpGEMM,
+    "hash-cpu": HashCPUSpGEMM,
+    "heap-cpu": HeapCPUSpGEMM,
+    "propblock": PropBlockSpGEMM,
     "resilient": ResilientSpGEMM,
     "engine": SpGEMMEngine,
     "dist": DistSpGEMM,
@@ -31,6 +38,9 @@ ALGORITHMS: dict[str, type[SpGEMMAlgorithm]] = {
 
 #: Display order used by the benchmark tables (matches the paper's figures).
 DISPLAY_ORDER = ("cusp", "cusparse", "bhsparse", "proposal")
+
+#: CPU-backend algorithms, in benchmark display order.
+CPU_DISPLAY_ORDER = ("heap-cpu", "hash-cpu", "propblock")
 
 
 def create(name: str, **options) -> SpGEMMAlgorithm:

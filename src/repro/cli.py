@@ -35,19 +35,23 @@ ALGORITHM_ALIASES = {"hash": "proposal", "nsparse": "proposal"}
 COMMANDS = ("info", "multiply", "suite", "datasets", "memory", "serve")
 
 
-#: --device choices (DEVICE_PRESETS keys, stable order for --help).
-DEVICE_CHOICES = ("P100", "K40", "VEGA56")
+def _device_choices() -> tuple:
+    """--device choices: every registered backend's presets, GPU first."""
+    from repro.backend import device_presets
+
+    return tuple(device_presets())
 
 
 def _add_device_arg(p: argparse.ArgumentParser) -> None:
-    p.add_argument("--device", choices=DEVICE_CHOICES, default="P100",
-                   help="device model to simulate (default: P100)")
+    p.add_argument("--device", choices=_device_choices(), default="P100",
+                   help="device model to simulate, any backend "
+                        "(default: P100)")
 
 
 def _device(name: str):
-    from repro.gpu.device import DEVICE_PRESETS
+    from repro.backend import resolve_device
 
-    return DEVICE_PRESETS[name]
+    return resolve_device(name)
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -233,18 +237,10 @@ def _load_matrix(args):
 
 
 def cmd_info(args) -> int:
-    from repro.core.params import build_group_table
+    from repro.backend import backend_for_spec
 
     dev = _device(args.device)
-    print(f"device: {dev.name}")
-    print(f"  SMs {dev.sm_count} x {dev.cores_per_sm} cores @ "
-          f"{dev.clock_ghz} GHz")
-    print(f"  shared {dev.shared_mem_per_sm // 1024} KB/SM "
-          f"(max {dev.max_shared_per_block // 1024} KB/block)")
-    print(f"  memory {dev.global_mem_bytes / 2**30:.0f} GiB @ "
-          f"{dev.mem_bandwidth_gbps:.0f} GB/s")
-    print("\ngroup table (Table I):")
-    print(build_group_table(dev).render())
+    print(backend_for_spec(dev).render_info(dev))
     return 0
 
 
@@ -273,6 +269,14 @@ def _options_from_args(args, repeat: int):
     from repro.options import SpGEMMOptions
 
     algorithm = ALGORITHM_ALIASES.get(args.algorithm, args.algorithm)
+    if not args.devices:
+        # run the chosen device's native equivalent: '--device KNL64'
+        # with the default --algo proposal means hash-cpu on the KNL,
+        # not the GPU proposal on its fallback preset
+        from repro.backend import backend_for_spec
+
+        algorithm = backend_for_spec(
+            _device(args.device)).native_algorithm(algorithm)
     devices = None
     if args.devices:
         spec = args.devices.strip()

@@ -68,7 +68,10 @@ class HashSpGEMM(SpGEMMAlgorithm):
     def apply_param_overrides(self, overrides: ParamOverrides) -> bool:
         """Adopt tuned Table I parameters (the autotuner's injection
         point); takes effect on the next multiply and on plan-cache keys
-        immediately."""
+        immediately.  Foreign override types (e.g. a CPU backend's
+        :class:`~repro.cpu.params.CPUParams`) are declined."""
+        if overrides is not None and not isinstance(overrides, ParamOverrides):
+            return False
         self.overrides = overrides or ParamOverrides()
         return True
 
@@ -106,6 +109,7 @@ class HashSpGEMM(SpGEMMAlgorithm):
         default) captures nothing.
         """
         A, B, p = self._prepare(A, B, precision)
+        device = self._native_spec(device)
         with self.context(matrix_name, device, p, faults) as ctx:
             return self._multiply(ctx, A, B, p, device, capture=capture)
 
@@ -125,6 +129,7 @@ class HashSpGEMM(SpGEMMAlgorithm):
         structure is already device-resident in the plan).
         """
         A, B, p = self._prepare(A, B, precision)
+        device = self._native_spec(device)
         plan.validate(A, B)
         with self.context(matrix_name, device, p, faults,
                           numeric_only=True) as ctx:

@@ -1,0 +1,193 @@
+"""CPU device specifications.
+
+:data:`KNL64` mirrors the Knights Landing evaluation platform of
+Nagasaka-Azad (arXiv 1804.01698): 64 cores with 4-way SMT, AVX-512, and
+16 GB of MCDRAM in flat mode (the configuration their best results use).
+:data:`XEON24` is a Skylake-SP-class dual-socket-half: 24 cores, 2-way
+SMT, a large shared LLC and commodity DDR4 bandwidth.  As with the GPU
+presets, latency/overhead constants are order-of-magnitude figures
+documented per field; every algorithm is costed through the same model,
+so comparisons stay fair.
+
+A :class:`CPUSpec` deliberately satisfies the same minimal protocol the
+rest of the stack expects from :class:`repro.gpu.device.DeviceSpec` --
+``name``, ``global_mem_bytes``, ``mem_bandwidth_gbps``,
+``malloc_seconds``/``free_seconds`` and ``with_memory`` -- so
+:class:`~repro.gpu.memory.DeviceMemory`, the dist layer and the serving
+layer run unchanged on either architecture.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.errors import DeviceConfigError
+
+
+@dataclass(frozen=True)
+class CPUSpec:
+    """Resource model of a multicore CPU.
+
+    Capacity fields drive hard limits (thread slots, OOM); rate/latency
+    fields drive the cost model in :mod:`repro.cpu.cost`.  The cache
+    hierarchy sizes decide, at plan time, which level a per-row hash
+    table lives in -- the CPU analogue of the shared-vs-global table
+    split of the paper's Table I.
+    """
+
+    name: str
+    # --- execution resources ------------------------------------------------
+    cores: int                    #: physical cores
+    smt: int                      #: hardware threads per core
+    clock_ghz: float              #: sustained all-core clock in GHz
+    simd_width: int               #: FP64 lanes per vector unit
+    vector_units: int             #: vector pipes per core
+    # --- cache hierarchy -----------------------------------------------------
+    l1_bytes: int                 #: per-core L1D capacity
+    l2_bytes: int                 #: per-core (or per-tile share) L2 capacity
+    llc_bytes: int                #: shared last-level cache (0 = none, KNL flat)
+    cache_line_bytes: int         #: coherence/transfer granularity
+    l2_penalty: float             #: cost multiplier for L2-resident tables
+    llc_penalty: float            #: cost multiplier for LLC/DRAM-resident tables
+    # --- memory --------------------------------------------------------------
+    global_mem_bytes: int         #: addressable memory the run may use
+    mem_bandwidth_gbps: float     #: sustained stream bandwidth, GB/s (10^9)
+    mem_latency_cycles: int       #: DRAM round-trip latency
+    mlp_per_thread: float         #: outstanding misses one thread sustains
+    # --- operation costs ------------------------------------------------------
+    cache_ports: int              #: L1 accesses per cycle per core
+    atomic_cycles: float          #: amortized cycles per contended atomic/lock op
+    # --- software overheads ---------------------------------------------------
+    fork_join_us: float           #: cost of dispatching one parallel region
+    chunk_overhead_cycles: float  #: per-chunk scheduling + prologue cost
+    malloc_base_us: float         #: fixed heap-allocation cost
+    malloc_per_mib_us: float      #: first-touch page-fault cost per MiB
+    free_base_us: float           #: fixed free cost
+
+    def __post_init__(self) -> None:
+        if self.cores <= 0 or self.smt <= 0:
+            raise DeviceConfigError(f"{self.name}: CPU must have cores and threads")
+        if self.l1_bytes <= 0 or self.l2_bytes < self.l1_bytes:
+            raise DeviceConfigError(
+                f"{self.name}: cache hierarchy must satisfy L1 <= L2")
+        if self.simd_width < 1 or self.simd_width & (self.simd_width - 1):
+            raise DeviceConfigError(
+                f"{self.name}: simd_width must be a power of two")
+
+    # --- derived rates --------------------------------------------------------
+
+    @property
+    def clock_hz(self) -> float:
+        """Core clock in Hz."""
+        return self.clock_ghz * 1e9
+
+    @property
+    def total_threads(self) -> int:
+        """Hardware thread slots (cores x SMT ways)."""
+        return self.cores * self.smt
+
+    @property
+    def bandwidth_bytes_per_sec(self) -> float:
+        """Sustained memory bandwidth in bytes/s."""
+        return self.mem_bandwidth_gbps * 1e9
+
+    def flops_per_cycle_per_core(self, double_precision: bool) -> float:
+        """Scalar-equivalent arithmetic ops retired per cycle per core.
+
+        A fully vectorized loop retires ``simd_width`` FP64 lanes per
+        vector unit per cycle; single precision packs twice the lanes.
+        """
+        lanes = self.simd_width * (1 if double_precision else 2)
+        return float(lanes * self.vector_units)
+
+    def cache_level_penalty(self, table_bytes: int) -> float:
+        """Access-cost multiplier for a working table of ``table_bytes``.
+
+        L1-resident tables cost 1.0 (the baseline the cost model charges
+        per probe); larger tables stretch every probe by the level's
+        penalty.  This is the CPU analogue of the paper's shared-memory
+        vs global-memory hash-table split, decided at plan time.
+        """
+        if table_bytes <= self.l1_bytes:
+            return 1.0
+        if table_bytes <= self.l2_bytes:
+            return self.l2_penalty
+        return self.llc_penalty
+
+    def malloc_seconds(self, nbytes: int) -> float:
+        """Simulated duration of one heap allocation + first touch."""
+        return (self.malloc_base_us
+                + self.malloc_per_mib_us * nbytes / (1 << 20)) * 1e-6
+
+    def free_seconds(self) -> float:
+        """Simulated duration of one free."""
+        return self.free_base_us * 1e-6
+
+    def with_memory(self, nbytes: int) -> "CPUSpec":
+        """Copy of this spec with a different memory capacity."""
+        return replace(self, global_mem_bytes=int(nbytes),
+                       name=f"{self.name}-{nbytes // (1 << 20)}MiB")
+
+
+#: Xeon Phi 7210-class Knights Landing, flat-MCDRAM mode -- the primary
+#: evaluation machine of Nagasaka-Azad (arXiv 1804.01698).
+KNL64 = CPUSpec(
+    name="Xeon Phi KNL-64",
+    cores=64,
+    smt=4,
+    clock_ghz=1.3,
+    simd_width=8,
+    vector_units=2,
+    l1_bytes=32 * 1024,
+    l2_bytes=512 * 1024,      # 1 MiB per 2-core tile
+    llc_bytes=0,              # no LLC in flat mode: L2 miss goes to MCDRAM
+    cache_line_bytes=64,
+    l2_penalty=2.5,
+    llc_penalty=8.0,
+    global_mem_bytes=16 * 1024 ** 3,   # MCDRAM as the fast working memory
+    mem_bandwidth_gbps=400.0,
+    mem_latency_cycles=230,
+    mlp_per_thread=10.0,
+    cache_ports=2,
+    atomic_cycles=30.0,
+    fork_join_us=8.0,
+    chunk_overhead_cycles=2000.0,
+    malloc_base_us=2.0,
+    malloc_per_mib_us=12.0,
+    free_base_us=1.0,
+)
+
+#: Skylake-SP-class 24-core Xeon: fewer, faster cores, a big shared LLC,
+#: commodity DDR4 bandwidth -- the "multicore" counterpoint to KNL.
+XEON24 = CPUSpec(
+    name="Xeon Platinum 24c",
+    cores=24,
+    smt=2,
+    clock_ghz=2.1,
+    simd_width=8,
+    vector_units=2,
+    l1_bytes=32 * 1024,
+    l2_bytes=1024 * 1024,
+    llc_bytes=33 * 1024 ** 2,
+    cache_line_bytes=64,
+    l2_penalty=2.0,
+    llc_penalty=5.0,
+    global_mem_bytes=192 * 1024 ** 3,
+    mem_bandwidth_gbps=128.0,
+    mem_latency_cycles=190,
+    mlp_per_thread=12.0,
+    cache_ports=2,
+    atomic_cycles=20.0,
+    fork_join_us=5.0,
+    chunk_overhead_cycles=1500.0,
+    malloc_base_us=2.0,
+    malloc_per_mib_us=10.0,
+    free_base_us=1.0,
+)
+
+#: Named CPU specs exposed through the backend registry (``--device``,
+#: ``DevicePool.from_names``, ``SpGEMMOptions(device='KNL64')``).
+CPU_PRESETS: dict[str, CPUSpec] = {
+    "KNL64": KNL64,
+    "XEON24": XEON24,
+}

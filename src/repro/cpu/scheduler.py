@@ -1,0 +1,183 @@
+"""Discrete-event simulation of chunk dispatch onto hardware threads.
+
+The CPU analogue of :mod:`repro.gpu.scheduler`: each kernel is a
+parallel region whose chunks (``n_blocks``) are dispatched FIFO onto
+free hardware-thread slots, capped by the region's own worker count.  A
+single monster row-block therefore holds one thread hostage while the
+rest drain -- the same load-imbalance pathology the GPU model exhibits,
+and the reason the CPU algorithms chunk rows finely.
+
+Stream semantics mirror CUDA's so the shared :class:`~repro.base.
+RunContext` accounting holds on both backends: kernels on the same
+stream serialize in issue order (a dependency chain), different streams
+co-schedule when thread slots allow, and ``use_streams=False`` forces
+full serialization.  Issue costs one fork/join (``fork_join_us``).
+
+The loop is deliberately simple -- one fungible resource (thread slots)
+instead of the GPU's per-SM threads/shared/blocks triple -- and runs
+unmemoized: CPU phases have at most a few hundred chunks.
+"""
+
+from __future__ import annotations
+
+import heapq
+from bisect import insort
+
+from repro.cpu.cost import chunk_durations, workers_for
+from repro.cpu.device import CPUSpec
+from repro.errors import HashTableError, SchedulerError
+from repro.gpu.faults import FaultPlan
+from repro.gpu.kernel import KernelLaunch
+from repro.gpu.scheduler import MAX_EVENTS, PhaseSchedule
+from repro.gpu.timeline import KernelRecord
+from repro.types import Precision
+
+
+class _RegionState:
+    __slots__ = ("index", "kernel", "durations", "workers", "next_chunk",
+                 "running", "done", "first_start", "finish")
+
+    def __init__(self, index: int, kernel: KernelLaunch, durations,
+                 spec: CPUSpec) -> None:
+        self.index = index
+        self.kernel = kernel
+        self.durations = durations
+        self.workers = workers_for(kernel, spec)
+        self.next_chunk = 0
+        self.running = 0
+        self.done = 0
+        self.first_start: float | None = None
+        self.finish: float | None = None
+
+    @property
+    def n_chunks(self) -> int:
+        return len(self.durations)
+
+    @property
+    def dispatch_complete(self) -> bool:
+        return self.next_chunk >= self.n_chunks
+
+
+def simulate_cpu_phase(kernels: list[KernelLaunch], spec: CPUSpec,
+                       precision: Precision | str, *,
+                       start_time: float = 0.0, use_streams: bool = True,
+                       faults: FaultPlan | None = None) -> PhaseSchedule:
+    """Simulate the concurrent execution of ``kernels`` on ``spec``.
+
+    Pure function of its inputs (fault plans are stateful and always
+    checked first, exactly as the GPU scheduler does): deterministic
+    timestamps, one :class:`KernelRecord` per region.
+    """
+    if not kernels:
+        return PhaseSchedule(start=start_time, end=start_time, records=[])
+
+    if faults is not None:
+        for k in kernels:
+            event = faults.check_kernel(k.name)
+            if event is not None:
+                raise HashTableError(
+                    f"hash table full in kernel {k.name!r} "
+                    f"(injected: {event.rule})")
+
+    p = Precision.parse(precision)
+    states = [_RegionState(i, k, chunk_durations(k, spec, p), spec)
+              for i, k in enumerate(kernels)]
+
+    # stream predecessor chains (all on one stream when streams disabled)
+    prev_on_stream: dict[int, int] = {}
+    predecessor: list[int | None] = [None] * len(states)
+    for st in states:
+        stream = st.kernel.stream if use_streams else 0
+        if stream in prev_on_stream:
+            predecessor[st.index] = prev_on_stream[stream]
+        prev_on_stream[stream] = st.index
+
+    free_slots = spec.total_threads
+    issue_gap = spec.fork_join_us * 1e-6
+
+    heap: list[tuple[float, int, int, int]] = []
+    seq = 0
+    # event tuples: (time, seq, kind, region_idx) where kind 0 = region
+    # becomes ready, 1 = chunk completion
+    for st in states:
+        if predecessor[st.index] is None:
+            heapq.heappush(heap,
+                           (start_time + (st.index + 1) * issue_gap, seq, 0,
+                            st.index))
+            seq += 1
+
+    ready: list[int] = []   # ready regions with chunks left, FIFO by index
+
+    def try_dispatch(now: float) -> None:
+        nonlocal seq, free_slots
+        still_ready = []
+        for idx in ready:
+            st = states[idx]
+            n_fit = min(free_slots, st.workers - st.running,
+                        st.n_chunks - st.next_chunk)
+            if n_fit > 0:
+                if st.first_start is None:
+                    st.first_start = now
+                for c in range(st.next_chunk, st.next_chunk + n_fit):
+                    heapq.heappush(
+                        heap, (now + float(st.durations[c]), seq, 1, st.index))
+                    seq += 1
+                st.next_chunk += n_fit
+                st.running += n_fit
+                free_slots -= n_fit
+            if not st.dispatch_complete:
+                still_ready.append(idx)
+        ready[:] = still_ready
+
+    n_events = 0
+    finished = 0
+    changed = False
+    while heap:
+        n_events += 1
+        if n_events > MAX_EVENTS:
+            raise SchedulerError("event budget exceeded; runaway simulation")
+        now, _, kind, r_idx = heapq.heappop(heap)
+        st = states[r_idx]
+        if kind == 0:
+            insort(ready, st.index)
+            changed = True
+        else:
+            free_slots += 1
+            st.running -= 1
+            st.done += 1
+            changed = True
+            if st.done == st.n_chunks:
+                st.finish = now
+                finished += 1
+                for succ in states:
+                    if predecessor[succ.index] == st.index:
+                        issue_time = start_time + (succ.index + 1) * issue_gap
+                        heapq.heappush(heap, (max(now, issue_time), seq, 0,
+                                              succ.index))
+                        seq += 1
+        # coalesce simultaneous events before dispatching
+        if heap and heap[0][0] == now:
+            continue
+        if ready and changed:
+            try_dispatch(now)
+        changed = False
+
+    if finished != len(states):
+        raise SchedulerError(
+            f"{len(states) - finished} regions never completed "
+            "(dispatch deadlock)")
+
+    records = []
+    for st in states:
+        records.append(KernelRecord(
+            name=st.kernel.name,
+            phase=st.kernel.phase,
+            stream=st.kernel.stream if use_streams else 0,
+            start=float(st.first_start if st.first_start is not None
+                        else start_time),
+            end=float(st.finish),
+            n_blocks=st.n_chunks,
+            block_seconds=float(st.durations.sum()),
+        ))
+    end = max(r.end for r in records)
+    return PhaseSchedule(start=start_time, end=end, records=records)

@@ -7,10 +7,14 @@ lifetime, so a per-slot :class:`~repro.engine.SpGEMMEngine` keeps its
 plan cache warm across multiplies -- the steady-state path of the E17
 scaling experiment.
 
-Devices may be heterogeneous (mixed specs); :meth:`DevicePool.weights`
-exposes the active devices' memory bandwidths as the partitioner's work
-shares.  A device lost mid-run is only marked, never removed, so ids
-stay stable and the audit trail can name it.
+Devices may be heterogeneous (mixed specs, even mixed *architectures*:
+GPU and CPU presets share one pool); :meth:`DevicePool.weights` asks
+each device's backend for its work share
+(:meth:`~repro.backend.base.Backend.work_weight`, bandwidth-derived) and
+:func:`_make_runner` translates the requested algorithm onto each
+slot's architecture, so a pool asked for 'proposal' runs 'hash-cpu' on
+its CPU slots.  A device lost mid-run is only marked, never removed, so
+ids stay stable and the audit trail can name it.
 """
 
 from __future__ import annotations
@@ -19,9 +23,10 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.backend import backend_for_spec, resolve_device
 from repro.base import SpGEMMAlgorithm
 from repro.errors import DeviceConfigError
-from repro.gpu.device import DEVICE_PRESETS, P100, DeviceSpec
+from repro.gpu.device import P100, DeviceSpec
 
 
 @dataclass
@@ -35,11 +40,15 @@ class DeviceSlot:
 
 
 def _make_runner(algorithm: "str | SpGEMMAlgorithm", engine: bool,
-                 algo_options: dict) -> SpGEMMAlgorithm:
+                 algo_options: dict,
+                 spec: "DeviceSpec | None" = None) -> SpGEMMAlgorithm:
     # local imports: the registry imports the dist driver, which imports us
     from repro.baselines.registry import create
     from repro.engine.engine import SpGEMMEngine
 
+    if isinstance(algorithm, str) and spec is not None:
+        # run each slot's architecture-native equivalent of the request
+        algorithm = backend_for_spec(spec).native_algorithm(algorithm)
     if engine:
         return SpGEMMEngine(algorithm, **algo_options)
     if isinstance(algorithm, SpGEMMAlgorithm):
@@ -69,26 +78,19 @@ class DevicePool:
             raise DeviceConfigError(f"n_devices must be >= 1, got {n_devices}")
         return cls([DeviceSlot(device_id=f"dev{i}", spec=spec,
                                runner=_make_runner(algorithm, engine,
-                                                   algo_options))
+                                                   algo_options, spec))
                     for i in range(int(n_devices))])
 
     @classmethod
     def from_names(cls, names: list[str], *,
                    algorithm: "str | SpGEMMAlgorithm" = "proposal",
                    engine: bool = True, **algo_options) -> "DevicePool":
-        """Heterogeneous pool from :data:`~repro.gpu.device.DEVICE_PRESETS`
-        keys (e.g. ``["P100", "P100", "K40"]``)."""
-        specs = []
-        for name in names:
-            key = name.strip().upper()
-            if key not in DEVICE_PRESETS:
-                raise DeviceConfigError(
-                    f"unknown device preset {name!r} "
-                    f"(expected one of {sorted(DEVICE_PRESETS)})")
-            specs.append(DEVICE_PRESETS[key])
+        """Heterogeneous pool from registered preset names, any backend
+        (e.g. ``["P100", "P100", "K40"]`` or ``["P100", "KNL64"]``)."""
+        specs = [resolve_device(name) for name in names]
         return cls([DeviceSlot(device_id=f"dev{i}", spec=spec,
                                runner=_make_runner(algorithm, engine,
-                                                   algo_options))
+                                                   algo_options, spec))
                     for i, spec in enumerate(specs)])
 
     # -- membership --------------------------------------------------------
@@ -115,9 +117,15 @@ class DevicePool:
         return s
 
     def weights(self) -> np.ndarray:
-        """Partitioner shares of the active devices (memory bandwidth)."""
-        return np.array([s.spec.mem_bandwidth_gbps for s in self.active],
-                        dtype=np.float64)
+        """Partitioner shares of the active devices.
+
+        Each backend derives its share from sustained memory bandwidth
+        (:meth:`~repro.backend.base.Backend.work_weight`); the GPU
+        backend returns the raw GB/s figure, so single-architecture GPU
+        pools partition exactly as before the abstraction layer.
+        """
+        return np.array([backend_for_spec(s.spec).work_weight(s.spec)
+                         for s in self.active], dtype=np.float64)
 
     def memory_bytes(self) -> int:
         """Combined device-memory capacity of the *active* devices.

@@ -14,6 +14,7 @@ The taxonomy::
     ├── DeviceMemoryError          simulated cudaErrorMemoryAllocation
     │   └── DeviceFreeError        double free / unknown allocation
     ├── DeviceConfigError          infeasible launch configuration
+    │   └── UnknownDeviceError     device-preset lookup of an unknown name
     ├── DeviceLostError            a pool device died (or the pool emptied)
     ├── SchedulerError             kernel-scheduler invariant violation
     ├── HashTableError             hash-table overflow inside a kernel
@@ -109,6 +110,27 @@ class DeviceConfigError(ReproError):
     Examples: thread block larger than ``max_threads_per_block``, shared
     memory request above ``max_shared_per_block``, zero-SM device.
     """
+
+
+class UnknownDeviceError(DeviceConfigError):
+    """A device lookup named a preset no backend registered.
+
+    Carries the requested ``name``, the tuple of ``available`` preset
+    names and the tuple of registered ``backends``, and renders all of
+    them into the message so a ``--device`` typo is self-explanatory.
+    """
+
+    def __init__(self, name: str, available: tuple = (),
+                 backends: tuple = ()) -> None:
+        self.name = str(name)
+        self.available = tuple(sorted(available))
+        self.backends = tuple(sorted(backends))
+        message = (f"unknown device preset {self.name!r} "
+                   f"(expected one of {list(self.available)}")
+        if self.backends:
+            message += f"; registered backends: {list(self.backends)}"
+        message += ")"
+        super().__init__(message)
 
 
 class SchedulerError(ReproError):

@@ -23,6 +23,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field, fields, replace
 
+from repro.backend import backends, resolve_device
 from repro.base import SpGEMMAlgorithm, SpGEMMResult
 from repro.gpu.device import P100, DeviceSpec
 from repro.gpu.faults import FaultPlan
@@ -39,8 +40,11 @@ class SpGEMMOptions:
 
     algorithm / precision / device
         The registry algorithm name, 'single' | 'double' (or a
-        :class:`~repro.types.Precision`) and the
-        :class:`~repro.gpu.device.DeviceSpec` to simulate.
+        :class:`~repro.types.Precision`) and the device to simulate: a
+        :class:`~repro.gpu.device.DeviceSpec`, a
+        :class:`~repro.cpu.device.CPUSpec`, or any registered preset
+        name (``device="KNL64"`` resolves through the backend
+        registry).
     engine / cache_budget_bytes
         ``engine=True`` fronts the algorithm with the plan-cached
         :class:`~repro.engine.SpGEMMEngine`; ``None`` means "auto" (on
@@ -71,7 +75,7 @@ class SpGEMMOptions:
 
     algorithm: str = "proposal"
     precision: "Precision | str" = Precision.DOUBLE
-    device: DeviceSpec = P100
+    device: "DeviceSpec | object | str" = P100
     engine: bool | None = None
     cache_budget_bytes: int | None = None
     resilient: bool = False
@@ -85,9 +89,10 @@ class SpGEMMOptions:
     observe: bool = True
     algo_options: dict = field(default_factory=dict)
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         # normalize early so equality/compile behave predictably
         object.__setattr__(self, "precision", Precision.parse(self.precision))
+        object.__setattr__(self, "device", resolve_device(self.device))
         if isinstance(self.devices, (list, tuple)):
             object.__setattr__(self, "devices",
                                tuple(str(d) for d in self.devices))
@@ -130,14 +135,30 @@ class SpGEMMOptions:
         return "|".join(parts)
 
 
+def _fallback_chain(algorithm: str) -> tuple[str, str]:
+    """The algorithm plus its backend's designated fallback.
+
+    The owning backend declares which of its algorithms trades speed for
+    robustness (``fallback_algorithm``); when the chosen algorithm *is*
+    that fallback, the backend default takes the second slot so the
+    chain never degenerates to a single entry.  Unknown names keep the
+    historical GPU pairing.
+    """
+    for b in backends().values():
+        if algorithm in b.algorithms:
+            alt = (b.fallback_algorithm if algorithm != b.fallback_algorithm
+                   else b.default_algorithm)
+            return (algorithm, alt)
+    return ((algorithm, "cusparse") if algorithm != "cusparse"
+            else ("cusparse", "proposal"))
+
+
 def _resilient_options(o: SpGEMMOptions) -> dict:
     """Constructor kwargs for the resilience ladder under ``o``."""
     opts = dict(o.algo_options)
     if o.algorithm not in ("resilient",):
         # keep the chosen algorithm first in the fallback chain
-        opts.setdefault("algorithms", (o.algorithm, "cusparse")
-                        if o.algorithm != "cusparse"
-                        else ("cusparse", "proposal"))
+        opts.setdefault("algorithms", _fallback_chain(o.algorithm))
     opts.setdefault("max_panels", o.max_panels)
     if o.memory_budget is not None:
         opts.setdefault("memory_budget", int(o.memory_budget))

@@ -103,9 +103,15 @@ class TunedSpGEMM(SpGEMMAlgorithm):
         :class:`~repro.gpu.faults.FaultPlan` applies to the *final* run
         only, so injected failures cannot corrupt stored configs.
         """
+        from repro.backend import backend_for_spec
+
         A2, B2, p = self._prepare(A, B, precision)
 
-        if not self.inner.apply_param_overrides(ParamOverrides()):
+        # probe with the device backend's own param type: an algorithm
+        # of another backend declines it, which is exactly "not tunable
+        # on this device"
+        probe = backend_for_spec(device).default_overrides()
+        if not self.inner.apply_param_overrides(probe):
             result, applied, reason = None, False, "inner not tunable"
         else:
             tuner = Autotuner(device, p, store=self.store, top_k=self.top_k)
@@ -120,5 +126,9 @@ class TunedSpGEMM(SpGEMMAlgorithm):
 
     def last_overrides(self) -> ParamOverrides:
         """The overrides currently applied to the inner algorithm (for
-        introspection; default when nothing was tuned yet)."""
-        return getattr(self.inner, "overrides", None) or ParamOverrides()
+        introspection; default when nothing was tuned yet).  CPU inners
+        carry :class:`~repro.cpu.params.CPUParams` instead."""
+        ov = getattr(self.inner, "overrides", None)
+        if ov is None:
+            ov = getattr(self.inner, "params", None)
+        return ov or ParamOverrides()

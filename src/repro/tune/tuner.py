@@ -77,10 +77,15 @@ class TuneResult:
         }
 
     @classmethod
-    def from_entry(cls, entry: dict, digest: str) -> "TuneResult":
-        """Decode a store entry (tolerating missing fields)."""
+    def from_entry(cls, entry: dict, digest: str,
+                   decode=ParamOverrides.from_dict) -> "TuneResult":
+        """Decode a store entry (tolerating missing fields).
+
+        ``decode`` turns the stored override dict back into the owning
+        backend's param type (GPU :class:`ParamOverrides` by default).
+        """
         return cls(
-            overrides=ParamOverrides.from_dict(entry.get("overrides", {})),
+            overrides=decode(entry.get("overrides", {})),
             default_seconds=float(entry.get("default_seconds", 0.0)),
             tuned_seconds=float(entry.get("tuned_seconds", 0.0)),
             objective_seconds=float(entry.get("objective_seconds", 0.0)),
@@ -178,8 +183,13 @@ def modeled_total(sketch: MatrixSketch, device: DeviceSpec,
 
 
 class Autotuner:
-    """Searches the Table I space for one ``(matrix, device, precision)``.
+    """Searches one backend's parameter space for ``(matrix, device,
+    precision)``.
 
+    The device's owning backend supplies the search grid, the sketch
+    objective, the measurement algorithm and the override codec
+    (:class:`~repro.backend.base.Backend` tuning hooks), so GPU Table I
+    searches and CPU thread/block searches share this one driver.
     ``store`` (a :class:`~repro.tune.store.TuningStore`) short-circuits
     repeat instances; ``None`` tunes from scratch every call.
     """
@@ -187,18 +197,19 @@ class Autotuner:
     def __init__(self, device: DeviceSpec, precision: Precision | str, *,
                  store: TuningStore | None = None,
                  top_k: int = DEFAULT_TOP_K) -> None:
+        from repro.backend import backend_for_spec
+
         self.device = device
+        self.backend = backend_for_spec(device)
         self.precision = Precision.parse(precision)
         self.store = store
         self.top_k = max(1, int(top_k))
 
-    def _measure(self, A: CSRMatrix, B: CSRMatrix, ov: ParamOverrides,
+    def _measure(self, A: CSRMatrix, B: CSRMatrix, ov,
                  matrix_name: str):
         """One real multiply under ``ov``; ``(seconds, result)`` or
         ``(inf, None)`` when the config cannot run at all."""
-        from repro.core.spgemm import HashSpGEMM
-
-        algo = HashSpGEMM(overrides=ov)
+        algo = self.backend.tuning_algorithm(ov)
         try:
             res = algo.multiply(A, B, precision=self.precision,
                                 device=self.device, matrix_name=matrix_name)
@@ -215,19 +226,22 @@ class Autotuner:
             entry = self.store.get(self.device.name, self.precision.value,
                                    digest)
             if entry is not None:
-                return TuneResult.from_entry(entry, digest)
+                return TuneResult.from_entry(entry, digest,
+                                             self.backend.decode_overrides)
 
-        candidates = candidate_space(self.device)
-        scored = [(modeled_total(sketch, self.device, self.precision, ov), ov)
+        default_ov = self.backend.default_overrides()
+        candidates = self.backend.tuning_candidates(self.device)
+        scored = [(self.backend.modeled_total(sketch, self.device,
+                                              self.precision, ov), ov)
                   for ov in candidates]
         default_score = scored[0][0]
         ranked = sorted((s for s in scored[1:] if s[0] < float("inf")),
                         key=lambda s: s[0])
 
-        default_seconds, default_res = self._measure(A, B, ParamOverrides(),
+        default_seconds, default_res = self._measure(A, B, default_ov,
                                                      matrix_name)
         best_ov, best_seconds, best_score, best_res = (
-            ParamOverrides(), default_seconds, default_score, default_res)
+            default_ov, default_seconds, default_score, default_res)
         measured = 1
         for score, ov in ranked[:self.top_k]:
             seconds, res = self._measure(A, B, ov, matrix_name)
@@ -244,7 +258,7 @@ class Autotuner:
             if not validated:
                 # never ship a config the oracle rejects
                 best_ov, best_seconds, best_score = (
-                    ParamOverrides(), default_seconds, default_score)
+                    default_ov, default_seconds, default_score)
 
         result = TuneResult(
             overrides=best_ov,

@@ -13,7 +13,8 @@ from repro.baselines.bhsparse import (ESC_LIMIT, HEAP_LIMIT, BHSparseSpGEMM,
                                       _sub_bins)
 from repro.baselines.cusparse_like import CuSparseSpGEMM
 from repro.baselines.esc import ESCSpGEMM
-from repro.baselines.registry import ALGORITHMS, DISPLAY_ORDER, create
+from repro.baselines.registry import (ALGORITHMS, CPU_DISPLAY_ORDER,
+                                      DISPLAY_ORDER, create)
 from repro.errors import AlgorithmError, DeviceMemoryError
 from repro.gpu.device import P100
 from repro.sparse import generators
@@ -135,10 +136,12 @@ class TestBHSparseStructure:
 class TestRegistry:
     def test_all_registered(self):
         assert set(ALGORITHMS) == {"proposal", "cusp", "cusparse", "bhsparse",
+                                   "hash-cpu", "heap-cpu", "propblock",
                                    "resilient", "engine", "dist", "tune"}
-        # the display order stays the paper's four-way comparison
-        assert set(DISPLAY_ORDER) == set(ALGORITHMS) - {"resilient", "engine",
-                                                        "dist", "tune"}
+        # the display orders partition the paper algorithms by backend
+        assert set(DISPLAY_ORDER) | set(CPU_DISPLAY_ORDER) == (
+            set(ALGORITHMS) - {"resilient", "engine", "dist", "tune"})
+        assert not set(DISPLAY_ORDER) & set(CPU_DISPLAY_ORDER)
 
     def test_create_unknown(self):
         with pytest.raises(AlgorithmError, match="unknown algorithm"):

@@ -1,0 +1,179 @@
+"""CPU-backend conformance: oracle, conservation, scheduling, tuning.
+
+Every algorithm of the CPU family must satisfy the exact contracts the
+GPU algorithms are held to -- same functional result (bit-identical to
+the proposal, since both reconstruct from the shared product cache),
+same conservation laws over the event stream, same tuning invariants --
+plus the mixed-architecture pool contract: distributing over CPU+GPU
+slots changes scheduling only, never the numbers.
+"""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.core.spgemm import HashSpGEMM
+from repro.cpu import KNL64, XEON24, CPUParams
+from repro.cpu.algorithms import HashCPUSpGEMM, HeapCPUSpGEMM, PropBlockSpGEMM
+from repro.obs.metrics import check_conservation
+from repro.sparse import generators
+from repro.sparse.reference import spgemm_reference
+
+pytestmark = pytest.mark.cpu
+
+CPU_ALGOS = (HashCPUSpGEMM, HeapCPUSpGEMM, PropBlockSpGEMM)
+CPU_SPECS = (KNL64, XEON24)
+
+
+@pytest.fixture
+def A():
+    return generators.power_law(250, 3.5, 70, rng=9)
+
+
+def _same_matrix(C1, C2):
+    return (np.array_equal(C1.rpt, C2.rpt)
+            and np.array_equal(C1.col, C2.col)
+            and np.array_equal(C1.val, C2.val))
+
+
+@pytest.mark.parametrize("cls", CPU_ALGOS, ids=lambda c: c.name)
+@pytest.mark.parametrize("spec", CPU_SPECS, ids=lambda s: s.name)
+class TestPerAlgorithm:
+    def test_matches_reference(self, cls, spec, A):
+        r = cls().multiply(A, A, device=spec)
+        ref = spgemm_reference(A, A)
+        assert r.matrix.canonicalize().allclose(ref, rtol=1e-9)
+
+    def test_bit_identical_to_gpu_proposal(self, cls, spec, A):
+        # both sides reconstruct from the shared product cache: moving
+        # an instance between architectures must never change a bit
+        gold = HashSpGEMM().multiply(A, A).matrix
+        C = cls().multiply(A, A, device=spec).matrix
+        assert _same_matrix(C, gold)
+
+    def test_conservation_laws(self, cls, spec, A):
+        r = cls().multiply(A, A, device=spec)
+        check_conservation(r.report)
+        assert r.report.flops == 2 * r.report.n_products
+        assert r.report.algorithm == cls.name
+        assert r.report.device == spec.name
+
+    def test_single_precision(self, cls, spec, A):
+        r = cls().multiply(A, A, device=spec, precision="single")
+        check_conservation(r.report)
+        assert r.matrix.dtype == np.float32
+        ref = spgemm_reference(A, A)
+        assert r.matrix.canonicalize().allclose(ref, rtol=1e-4)
+
+    def test_deterministic_schedule(self, cls, spec, A):
+        r1 = cls().multiply(A, A, device=spec)
+        r2 = cls().multiply(A, A, device=spec)
+        assert r1.report.total_seconds == r2.report.total_seconds
+        assert r1.report.peak_bytes == r2.report.peak_bytes
+        ev1 = [(e.kind, e.ts, e.name) for e in r1.report.events]
+        ev2 = [(e.kind, e.ts, e.name) for e in r2.report.events]
+        assert ev1 == ev2
+
+    def test_streams_off_never_faster(self, cls, spec, A):
+        on = cls(use_streams=True).multiply(A, A, device=spec)
+        off = cls(use_streams=False).multiply(A, A, device=spec)
+        assert off.report.total_seconds >= on.report.total_seconds - 1e-12
+        assert _same_matrix(on.matrix, off.matrix)
+
+
+class TestDeviceCoercion:
+    def test_cpu_algorithm_on_gpu_spec_runs_native_preset(self, A):
+        # foreign spec -> the backend's default preset, mirroring how
+        # GPU algorithms already coerce CPU specs
+        r = HashCPUSpGEMM().multiply(A, A, device=repro.P100)
+        assert r.report.device == KNL64.name
+
+    def test_gpu_algorithm_on_cpu_spec_runs_native_preset(self, A):
+        r = HashSpGEMM().multiply(A, A, device=XEON24)
+        assert r.report.device == repro.P100.name
+
+
+class TestParams:
+    def test_round_trip(self):
+        p = CPUParams(threads=64, block_rows=128, bins=1024)
+        assert CPUParams.from_dict(p.to_dict()) == p
+        assert not p.is_default()
+        assert CPUParams().is_default()
+
+    def test_gpu_overrides_declined(self):
+        algo = HashCPUSpGEMM()
+        assert not algo.apply_param_overrides(repro.ParamOverrides())
+        assert algo.apply_param_overrides(CPUParams(threads=32))
+        assert algo.params == CPUParams(threads=32)
+
+    def test_cpu_params_declined_by_gpu_algorithm(self):
+        assert not HashSpGEMM().apply_param_overrides(CPUParams(threads=8))
+
+    def test_explicit_params_change_the_schedule(self, A):
+        base = HashCPUSpGEMM().multiply(A, A, device=KNL64)
+        narrow = HashCPUSpGEMM(params=CPUParams(threads=4)).multiply(
+            A, A, device=KNL64)
+        check_conservation(narrow.report)
+        assert narrow.report.total_seconds != base.report.total_seconds
+        assert _same_matrix(base.matrix, narrow.matrix)
+
+
+class TestTuning:
+    def test_tuned_never_slower(self, A):
+        from repro.tune import Autotuner
+
+        for spec in CPU_SPECS:
+            res = Autotuner(spec, "double").tune(A, A)
+            assert res.tuned_seconds <= res.default_seconds
+            assert isinstance(res.overrides, CPUParams)
+
+    def test_facade_tune_on_cpu_device(self, A):
+        r = repro.multiply(A, A, options=repro.SpGEMMOptions(
+            algorithm="hash-cpu", device="KNL64", tune=True))
+        check_conservation(r.report)
+        assert r.report.algorithm == "hash-cpu"
+
+
+class TestMixedPools:
+    def test_mixed_pool_bit_identical_to_single_device(self, A):
+        single = repro.multiply(A, A, options=repro.SpGEMMOptions())
+        mixed = repro.multiply(A, A, options=repro.SpGEMMOptions(
+            devices=("P100", "KNL64", "XEON24")))
+        assert _same_matrix(single.matrix, mixed.matrix)
+
+    def test_pool_translates_algorithm_per_slot(self):
+        from repro.dist import DevicePool
+
+        pool = DevicePool.from_names(["P100", "KNL64"], engine=False)
+        names = [s.runner.name for s in pool.slots]
+        assert names == ["proposal", "hash-cpu"]
+
+    def test_pool_weights_follow_backends(self):
+        from repro.backend import CPU_BACKEND
+        from repro.dist import DevicePool
+
+        pool = DevicePool.from_names(["P100", "KNL64"])
+        w = pool.weights()
+        assert w[0] == repro.P100.mem_bandwidth_gbps
+        assert w[1] == CPU_BACKEND.work_weight(KNL64)
+
+    def test_unknown_pool_name_typed_error(self):
+        from repro.dist import DevicePool
+        from repro.errors import UnknownDeviceError
+
+        with pytest.raises(UnknownDeviceError, match="unknown device"):
+            DevicePool.from_names(["P100", "A64FX"])
+
+    def test_all_cpu_pool_runs(self, A):
+        r = repro.multiply(A, A, options=repro.SpGEMMOptions(
+            algorithm="hash-cpu", devices=("KNL64", "KNL64")))
+        ref = spgemm_reference(A, A)
+        assert r.matrix.canonicalize().allclose(ref, rtol=1e-9)
+
+
+class TestResilience:
+    def test_cpu_fallback_chain_stays_on_cpu(self, A):
+        r = repro.multiply(A, A, options=repro.SpGEMMOptions(
+            algorithm="hash-cpu", resilient=True, device="KNL64"))
+        check_conservation(r.report)
+        assert r.report.algorithm in ("hash-cpu", "heap-cpu")
