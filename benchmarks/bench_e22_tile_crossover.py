@@ -1,0 +1,83 @@
+"""E22 -- tile vs hash SpGEMM across structured-sparsity workloads.
+
+No single paper figure -- this probes where a tile/bitmap pipeline (the
+post-paper ``repro.tile`` subsystem) beats the ICPP'17 hash proposal and
+where it loses, on ML-shaped operand pairs the Table II corpus never
+exercises: N:M pruned weight chains, transformer block-diagonal
+products, GNN adjacency x feature blocks, and a power-law web graph as
+the hash-friendly control.  Three questions:
+
+1. *Crossover* -- which workload classes reward dense tiles (structured
+   nonzeros amortize the CSR->tiled conversion) and which reward hash
+   tables (scattered nonzeros make tiles near-empty)?
+2. *Selector* -- does the sketch-based :func:`select_algorithm` pick the
+   measured winner per class without running either pipeline?
+3. *Identity* -- both pipelines produce bit-identical results (shared
+   product cache), so only the modeled time columns differ.
+
+The gate: each side must win at least one class, and the selector must
+agree with the measured winner on every class.
+"""
+
+from repro.baselines.registry import create
+from repro.bench.datasets import WORKLOADS
+from repro.gpu.device import P100
+from repro.tile import TileSpGEMM
+from repro.tile.plan import select_algorithm
+
+from benchmarks.conftest import run_once
+
+PRECISION = "single"
+
+
+def test_e22_tile_crossover(benchmark, show):
+    def run_all():
+        rows = []
+        for name in sorted(WORKLOADS):
+            w = WORKLOADS[name]
+            A, B = w.matrices()
+            tile = TileSpGEMM().multiply(A, B, precision=PRECISION,
+                                         matrix_name=name)
+            hashed = create("proposal").multiply(A, B, precision=PRECISION,
+                                                 matrix_name=name)
+            pick, tile_est, hash_est = select_algorithm(
+                A, B, P100, PRECISION)
+            rows.append((w, tile, hashed, pick, tile_est, hash_est))
+            w.drop()
+        return rows
+
+    rows = run_once(benchmark, run_all)
+
+    lines = []
+    tile_wins = hash_wins = selector_correct = 0
+    for w, tile, hashed, pick, tile_est, hash_est in rows:
+        t_us = tile.report.total_seconds * 1e6
+        h_us = hashed.report.total_seconds * 1e6
+        winner = "tile" if tile.report.total_seconds \
+            < hashed.report.total_seconds else "proposal"
+        if winner == "tile":
+            tile_wins += 1
+        else:
+            hash_wins += 1
+        if pick == winner:
+            selector_correct += 1
+        lines.append(
+            f"  {w.name:<24} [{w.wclass:<11}] tile {t_us:9.2f}us  "
+            f"hash {h_us:9.2f}us  -> {winner:<8} "
+            f"(selector: {pick:<8} {'ok' if pick == winner else 'MISS'})")
+        # bit-identity: both pipelines share the product cache, so the
+        # outputs must match to the byte, not just numerically
+        assert (tile.matrix.rpt == hashed.matrix.rpt).all(), w.name
+        assert (tile.matrix.col == hashed.matrix.col).all(), w.name
+        assert (tile.matrix.val == hashed.matrix.val).all(), w.name
+    lines.append(f"  tally: tile {tile_wins}, hash {hash_wins}, "
+                 f"selector {selector_correct}/{len(rows)}")
+    show(f"E22: tile vs hash per workload class [{PRECISION}]",
+         "\n".join(lines))
+
+    # the crossover gate: structured classes must reward the tiles,
+    # scattered ones the hash tables -- and the sketch-based selector
+    # must find the measured winner without running either pipeline
+    assert tile_wins >= 1, "tile never wins: crossover collapsed"
+    assert hash_wins >= 1, "hash never wins: crossover collapsed"
+    assert selector_correct == len(rows), "selector disagreed on a class"

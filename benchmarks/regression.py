@@ -15,8 +15,12 @@ fenced like every other modeled figure), plus the E20 wall-clock slice
 (median-of-5 *real* seconds of the E16/E17 iterative suites from
 :mod:`repro.bench.wallclock`, fenced at 1.5x -- the one gate on the
 simulator's own host cost rather than its modeled output), plus the E21
-cross-backend slice (schema 6: the same datasets through every CPU
-preset's native algorithms, and the exact GPU-vs-CPU crossover tally).
+cross-backend slice (the same datasets through every CPU preset's
+native algorithms, and the exact GPU-vs-CPU crossover tally), plus the
+E22 tile slice (schema 7: the structured workloads through the tile and
+hash pipelines with the exact per-class win tally and the sketch-based
+selector's agreement count -- all three are deterministic integers, so
+any drift is a behavior change).
 All other compared quantities are *modeled* device numbers, so they are
 exactly reproducible across runners; the overall wall-clock is recorded
 for context and only fenced loosely (runner variance).
@@ -52,7 +56,7 @@ WALLCLOCK_REPEATS = 5
 #: The pinned subset: one high- and one low-throughput analogue.
 DATASETS = ("Protein", "Circuit")
 PRECISION = "single"
-SCHEMA = 6
+SCHEMA = 7
 
 #: The cross-backend slice (E21): the same datasets through every CPU
 #: preset, plus the architecture-crossover tally (which architecture's
@@ -166,6 +170,43 @@ def collect() -> dict:
                 "gpu_wins": gpu_wins,
                 "cpu_wins": len(cpu_best) - gpu_wins})
 
+    # the E22 slice (schema 7): the structured workloads through the
+    # tile and hash pipelines, with the exact crossover tally and the
+    # sketch selector's agreement count
+    from repro.baselines.registry import create as create_algorithm
+    from repro.bench.datasets import WORKLOADS
+    from repro.gpu.device import DEVICE_PRESETS as _PRESETS
+    from repro.tile import TileSpGEMM
+    from repro.tile.plan import select_algorithm
+
+    p100 = _PRESETS["P100"]
+    tile_wins = hash_wins = selector_correct = 0
+    for wname in sorted(WORKLOADS):
+        w = WORKLOADS[wname]
+        A, B = w.matrices()
+        t = TileSpGEMM().multiply(A, B, precision=PRECISION,
+                                  matrix_name=wname)
+        h = create_algorithm("proposal").multiply(
+            A, B, precision=PRECISION, matrix_name=wname)
+        pick, _, _ = select_algorithm(A, B, p100, PRECISION)
+        winner = ("tile" if t.report.total_seconds < h.report.total_seconds
+                  else "proposal")
+        if winner == "tile":
+            tile_wins += 1
+        else:
+            hash_wins += 1
+        selector_correct += int(pick == winner)
+        out.append({"dataset": wname, "algorithm": "tile",
+                    "gflops": 0.0 if not t.report.total_seconds else
+                    2.0 * t.report.n_products / t.report.total_seconds / 1e9,
+                    "total_seconds": t.report.total_seconds})
+        out.append({"dataset": wname, "algorithm": "proposal-workload",
+                    "total_seconds": h.report.total_seconds})
+        w.drop()
+    out.append({"dataset": "E22", "algorithm": "crossover",
+                "tile_wins": tile_wins, "hash_wins": hash_wins,
+                "selector_correct": selector_correct})
+
     # the E19 slice: the pinned chaos storm through the serving layer
     from repro.bench.runner import run_serve_storm
 
@@ -250,10 +291,11 @@ def compare(baseline: dict, current: dict) -> list[str]:
                     f"(x{b['tune_speedup']:.3f} -> "
                     f"x{c.get('tune_speedup', 1.0):.3f})")
         for field in ("serve_completed", "serve_retries", "serve_degraded",
-                      "serve_naive_completed", "gpu_wins", "cpu_wins"):
-            # serve counts and the E21 crossover tally are deterministic:
-            # any drift is a behavior change, not noise -- refresh the
-            # baseline on purpose
+                      "serve_naive_completed", "gpu_wins", "cpu_wins",
+                      "tile_wins", "hash_wins", "selector_correct"):
+            # serve counts and the E21/E22 crossover tallies are
+            # deterministic: any drift is a behavior change, not noise --
+            # refresh the baseline on purpose
             if field in b and c.get(field) != b[field]:
                 problems.append(f"{where}: {field} changed "
                                 f"{b[field]} -> {c.get(field)}")
@@ -262,7 +304,9 @@ def compare(baseline: dict, current: dict) -> list[str]:
                 f"{where}: modeled GFLOPS regressed "
                 f"{b['gflops']:.3f} -> {c['gflops']:.3f} "
                 f"(>{MODELED_TOLERANCE:.0%})")
-        if c["total_seconds"] > b["total_seconds"] * (1.0 + MODELED_TOLERANCE):
+        if ("total_seconds" in b and
+                c["total_seconds"] > b["total_seconds"]
+                * (1.0 + MODELED_TOLERANCE)):
             problems.append(
                 f"{where}: modeled total regressed "
                 f"{b['total_seconds'] * 1e6:.1f} -> "

@@ -27,6 +27,7 @@ module functions.
 from __future__ import annotations
 
 import abc
+from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any, Callable
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -39,6 +40,41 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 #: Algorithm names that belong to no backend (wrappers composing an
 #: inner algorithm); translation leaves them untouched.
 NEUTRAL_ALGORITHMS = ("resilient", "engine", "dist", "tune")
+
+
+@dataclass(frozen=True)
+class TuningFamily:
+    """One tunable algorithm family of a backend.
+
+    A backend may host several families with genuinely different search
+    spaces (the GPU hosts the hash proposal's Table I space *and* the
+    tile family's tile/density space).  Each family bundles its override
+    codec, search grid, sketch builder and sketch-level objective, so
+    :class:`~repro.tune.tuner.Autotuner` drives any of them through one
+    code path.  The family is selected by the ``apply_param_overrides``
+    protocol: the first family whose default override object the inner
+    algorithm accepts owns the search (an algorithm declines foreign
+    param types, so the probe is unambiguous).
+
+    Families must produce sketches with non-colliding digests (the tile
+    sketch namespaces its hash), because the persistent tuning store is
+    keyed by ``(device, precision, digest)`` only.
+    """
+
+    #: family label (events / debugging)
+    family: str
+    #: the all-default override object of the family's param type
+    default_overrides: Callable[[], Any]
+    #: decode a ``to_dict`` store entry back to the param type
+    decode_overrides: Callable[[dict], Any]
+    #: the search grid for a spec (candidate 0 is the default)
+    candidates: Callable[[Any], list]
+    #: analytic objective ``(sketch, spec, precision, overrides) -> s``
+    modeled_total: Callable[..., float]
+    #: a fresh native algorithm instance carrying the overrides
+    algorithm: Callable[[Any], Any]
+    #: sketch builder ``(A, B) -> sketch`` (must expose ``digest()``)
+    sketch: Callable[[Any, Any], Any]
 
 
 class Backend(abc.ABC):
@@ -141,6 +177,29 @@ class Backend(abc.ABC):
     def tuning_algorithm(self, overrides: Any) -> Any:
         """A fresh native algorithm instance carrying ``overrides`` (the
         tuner's measurement vehicle)."""
+
+    def tuning_families(self, spec: Any) -> "tuple[TuningFamily, ...]":
+        """All tunable families on ``spec``, primary family first.
+
+        The default wraps the five abstract hooks with the row-histogram
+        :func:`~repro.tune.sketch.sketch_matrix` -- bit-identical to the
+        pre-family tuner for every existing backend.  Backends hosting
+        additional algorithm families (the GPU's ``tile``) append them.
+        """
+        def _sketch(A: Any, B: Any) -> Any:
+            from repro.tune.sketch import sketch_matrix
+
+            return sketch_matrix(A, B)
+
+        return (TuningFamily(
+            family=self.name,
+            default_overrides=self.default_overrides,
+            decode_overrides=self.decode_overrides,
+            candidates=self.tuning_candidates,
+            modeled_total=self.modeled_total,
+            algorithm=self.tuning_algorithm,
+            sketch=_sketch,
+        ),)
 
     # -- presentation ---------------------------------------------------------
 

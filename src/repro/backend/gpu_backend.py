@@ -15,7 +15,7 @@ from __future__ import annotations
 
 from typing import Any
 
-from repro.backend.base import Backend
+from repro.backend.base import Backend, TuningFamily
 from repro.gpu.cost import kernel_duration_alone
 from repro.gpu.device import DEVICE_PRESETS, P100, DeviceSpec
 from repro.gpu.scheduler import simulate_phase
@@ -28,7 +28,7 @@ class GPUBackend(Backend):
     spec_type = DeviceSpec
     presets = DEVICE_PRESETS
     default_preset = P100
-    algorithms = ("proposal", "cusparse", "cusp", "bhsparse")
+    algorithms = ("proposal", "cusparse", "cusp", "bhsparse", "tile")
     default_algorithm = "proposal"
     fallback_algorithm = "cusparse"
 
@@ -64,6 +64,28 @@ class GPUBackend(Backend):
         from repro.core.spgemm import HashSpGEMM
 
         return HashSpGEMM(overrides=overrides)
+
+    def tuning_families(self, spec: DeviceSpec) -> tuple[TuningFamily, ...]:
+        """The hash family (primary, = the five hooks above) plus the
+        tile family with its own param type, grid, tiled sketch and
+        objective.  Family selection is by override-type probing, so a
+        :class:`~repro.tile.algorithm.TileSpGEMM` inner lands on the
+        tile space and everything else keeps the Table I search."""
+        from repro.tile.algorithm import TileSpGEMM
+        from repro.tile.params import TileParams
+        from repro.tile.plan import (candidate_space, modeled_tile_total,
+                                     sketch_tiles)
+
+        tile = TuningFamily(
+            family="tile",
+            default_overrides=TileParams,
+            decode_overrides=TileParams.from_dict,
+            candidates=candidate_space,
+            modeled_total=modeled_tile_total,
+            algorithm=lambda ov: TileSpGEMM(params=ov),
+            sketch=sketch_tiles,
+        )
+        return super().tuning_families(spec) + (tile,)
 
     # -- presentation ---------------------------------------------------------
 

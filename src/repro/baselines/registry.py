@@ -12,6 +12,7 @@ from repro.cpu.algorithms import HashCPUSpGEMM, HeapCPUSpGEMM, PropBlockSpGEMM
 from repro.dist.dist import DistSpGEMM
 from repro.engine.engine import SpGEMMEngine
 from repro.errors import UnknownAlgorithmError
+from repro.tile.algorithm import TileSpGEMM
 from repro.tune.tuned import TunedSpGEMM
 
 #: All available algorithms, keyed by their benchmark-table names.
@@ -21,12 +22,16 @@ from repro.tune.tuned import TunedSpGEMM
 #: algorithms" should use DISPLAY_ORDER.  The 'hash-cpu' / 'heap-cpu' /
 #: 'propblock' entries are the multicore CPU baselines (Nagasaka et al.
 #: and Gu et al.); they run on :class:`~repro.cpu.device.CPUSpec`
-#: presets and are excluded from the GPU benchmark tables.
+#: presets and are excluded from the GPU benchmark tables.  'tile' is
+#: the TileSpGEMM-style 2-D tiled family (Niu et al.): GPU-native, no
+#: global atomics, at home on structured/blocked patterns -- the E22
+#: crossover study's counterpart to the proposal.
 ALGORITHMS: dict[str, type[SpGEMMAlgorithm]] = {
     "proposal": HashSpGEMM,
     "cusparse": CuSparseSpGEMM,
     "cusp": ESCSpGEMM,
     "bhsparse": BHSparseSpGEMM,
+    "tile": TileSpGEMM,
     "hash-cpu": HashCPUSpGEMM,
     "heap-cpu": HeapCPUSpGEMM,
     "propblock": PropBlockSpGEMM,

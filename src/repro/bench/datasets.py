@@ -22,12 +22,49 @@ scaling rules:
 
 from __future__ import annotations
 
+import zlib
 from dataclasses import dataclass
 from typing import Callable
+
+import numpy as np
 
 from repro.sparse import generators as G
 from repro.sparse.csr import CSRMatrix
 from repro.sparse.stats import MatrixStats, compute_stats
+
+#: Root seed of the dataset RNG factory (new datasets derive their
+#: streams from this; never reused directly).
+BASE_SEED = 20170814  # the paper's ICPP year + date, fixed forever
+
+#: The integer seeds the Table II / large-graph analogues shipped with
+#: before the factory existed.  Pinned by name so every historical
+#: dataset keeps its exact bit pattern (goldens and BENCH_BASELINE.json
+#: depend on it); new datasets get factory-derived streams instead.
+_LEGACY_SEEDS: dict[str, int] = {
+    "Protein": 101, "FEM/Spheres": 102, "FEM/Cantilever": 103,
+    "FEM/Ship": 104, "Wind Tunnel": 105, "FEM/Harbor": 106, "QCD": 107,
+    "FEM/Accelerator": 108, "Economics": 109, "Circuit": 110,
+    "Epidemiology": 111, "webbase": 112,
+    "cage15": 113, "wb-edu": 114, "cit-Patents": 115,
+}
+
+
+def dataset_rng(name: str) -> np.random.Generator:
+    """The one RNG factory every dataset generator seeds through.
+
+    Returns a *fresh* ``numpy.random.Generator`` per call -- no module
+    state, so building datasets in any order (or twice) never changes
+    any of them, and two processes get bit-identical matrices (the
+    determinism regression test).  Legacy names keep their original
+    integer seeds; new names derive a stream from :data:`BASE_SEED` and
+    a CRC of the name (``zlib.crc32``, not :func:`hash`, which is salted
+    per process).
+    """
+    legacy = _LEGACY_SEEDS.get(name)
+    if legacy is not None:
+        return np.random.default_rng(legacy)
+    return np.random.default_rng(
+        np.random.SeedSequence([BASE_SEED, zlib.crc32(name.encode())]))
 
 
 @dataclass(frozen=True)
@@ -136,40 +173,46 @@ DATASETS: dict[str, Dataset] = {d.name: d for d in [
     _make("Protein", "high",
           "dense diagonal blocks; per-row products exceed the shared "
           "symbolic table (Group 0) and BHSPARSE's merge threshold",
-          lambda: G.block_dense(2400, 48, coupling=0.02, rng=101)),
+          lambda: G.block_dense(2400, 48, coupling=0.02,
+                                rng=dataset_rng("Protein"))),
     _make("FEM/Spheres", "high", "banded FEM, uniform rows",
-          lambda: G.banded(1000, 34, rng=102)),
+          lambda: G.banded(1000, 34, rng=dataset_rng("FEM/Spheres"))),
     _make("FEM/Cantilever", "high", "banded FEM, uniform rows",
-          lambda: G.banded(900, 30, rng=103)),
+          lambda: G.banded(900, 30, rng=dataset_rng("FEM/Cantilever"))),
     _make("FEM/Ship", "high", "banded FEM, mild variation",
-          lambda: G.banded(1000, 27, rng=104)),
+          lambda: G.banded(1000, 27, rng=dataset_rng("FEM/Ship"))),
     _make("Wind Tunnel", "high", "banded FEM, wider spread",
-          lambda: G.banded(1000, 26, bandwidth=80, rng=105)),
+          lambda: G.banded(1000, 26, bandwidth=80,
+                           rng=dataset_rng("Wind Tunnel"))),
     _make("FEM/Harbor", "high", "banded FEM, short band",
-          lambda: G.banded(800, 24, bandwidth=30, rng=106)),
+          lambda: G.banded(800, 24, bandwidth=30,
+                           rng=dataset_rng("FEM/Harbor"))),
     _make("QCD", "high", "perfectly regular lattice stencil",
-          lambda: G.stencil_regular(2048, 20, rng=107)),
+          lambda: G.stencil_regular(2048, 20, rng=dataset_rng("QCD"))),
     _make("FEM/Accelerator", "high", "banded, lighter rows",
-          lambda: G.banded(2000, 12, bandwidth=60, rng=108)),
+          lambda: G.banded(2000, 12, bandwidth=60,
+                           rng=dataset_rng("FEM/Accelerator"))),
     _make("Economics", "low", "diagonal + random scatter, irregular",
-          lambda: G.diagonal_plus_random(12000, 5.2, rng=109)),
+          lambda: G.diagonal_plus_random(12000, 5.2,
+                                         rng=dataset_rng("Economics"))),
     _make("Circuit", "low", "power-law rows (max >> mean)",
-          lambda: G.power_law(12000, 9.5, 250, rng=110)),
+          lambda: G.power_law(12000, 9.5, 250, rng=dataset_rng("Circuit"))),
     _make("Epidemiology", "low", "regular degree-4 stencil, max = mean",
-          lambda: G.stencil_regular(40000, 4, rng=111)),
+          lambda: G.stencil_regular(40000, 4, rng=dataset_rng("Epidemiology"))),
     _make("webbase", "low", "power-law web graph with one huge row",
-          lambda: G.power_law(20000, 3.1, 470, rng=112)),
+          lambda: G.power_law(20000, 3.1, 470, rng=dataset_rng("webbase"))),
 ]}
 
 #: The three large graph-analysis matrices of Table III.
 LARGE_GRAPHS: dict[str, Dataset] = {d.name: d for d in [
     _make("cage15", "large", "near-uniform random graph, high edge factor "
           "(cage matrices are regular, not power-law)",
-          lambda: G.rmat(12, 19, a=0.28, b=0.24, c=0.24, rng=113)),
+          lambda: G.rmat(12, 19, a=0.28, b=0.24, c=0.24,
+                         rng=dataset_rng("cage15"))),
     _make("wb-edu", "large", "power-law web crawl with extreme rows",
-          lambda: G.power_law(40000, 5.8, 1200, rng=114)),
+          lambda: G.power_law(40000, 5.8, 1200, rng=dataset_rng("wb-edu"))),
     _make("cit-Patents", "large", "RMAT citation graph, low density",
-          lambda: G.rmat(13, 4, rng=115)),
+          lambda: G.rmat(13, 4, rng=dataset_rng("cit-Patents"))),
 ]}
 
 #: Names in paper (Table II / Figure 2) order.
@@ -185,6 +228,112 @@ def get_dataset(name: str) -> Dataset:
         return LARGE_GRAPHS[name]
     raise KeyError(f"unknown dataset {name!r}; "
                    f"known: {sorted(DATASETS) + sorted(LARGE_GRAPHS)}")
+
+
+# -- structured-sparsity workloads (A, B pairs) -------------------------------
+
+
+@dataclass
+class Workload:
+    """One structured SpGEMM workload: an ``(A, B)`` pair with a class tag.
+
+    Unlike :class:`Dataset` (square Table II analogues, always squared),
+    a workload names *both* operands -- N:M weight chains, GNN adjacency
+    x feature blocks (rectangular), transformer block-diagonal products.
+    ``wclass`` is the workload-class tag the E22 crossover study and the
+    tuner's per-class records key on.
+    """
+
+    name: str
+    wclass: str                        #: class tag ('nm', 'gnn', ...)
+    shape: str                         #: human-readable default shape
+    build_fn: Callable[[], "tuple[CSRMatrix, CSRMatrix]"]
+    note: str = ""
+    _pair: "tuple[CSRMatrix, CSRMatrix] | None" = None
+
+    def matrices(self) -> "tuple[CSRMatrix, CSRMatrix]":
+        """Build (once) and return the operand pair."""
+        if self._pair is None:
+            self._pair = self.build_fn()
+        return self._pair
+
+    def drop(self) -> None:
+        """Release the built pair (memory hygiene between benchmarks)."""
+        self._pair = None
+
+
+def _nm_pair() -> "tuple[CSRMatrix, CSRMatrix]":
+    # 50% density makes intermediate products quadratic in width: 256
+    # keeps the one-off oracle product (shared cache) to ~4M products
+    # while preserving the uniformly-dense-tile structure tiles reward
+    r = dataset_rng("nm-2:4")
+    return (G.nm_structured(256, 256, 2, 4, rng=r),
+            G.nm_structured(256, 256, 2, 4, rng=r))
+
+
+def _transformer_pair() -> "tuple[CSRMatrix, CSRMatrix]":
+    r = dataset_rng("transformer-blockdiag")
+    return (G.block_diagonal(768, 64, fill=0.9, rng=r),
+            G.block_diagonal(768, 64, fill=0.9, rng=r))
+
+
+def _gnn_pair() -> "tuple[CSRMatrix, CSRMatrix]":
+    r = dataset_rng("gnn-adj-feat")
+    return (G.gnn_adjacency(3000, 8, rng=r),
+            G.feature_blocks(3000, 256, 32, rng=r))
+
+
+def _powerlaw_pair() -> "tuple[CSRMatrix, CSRMatrix]":
+    A = G.power_law(4000, 6.0, 300, rng=dataset_rng("web-powerlaw"))
+    return (A, A)
+
+
+#: The structured workloads of the E22 crossover study.  Each workload
+#: seeds one factory stream, so operand pairs are deterministic across
+#: processes; the power-law entry is the scattered regime the tile
+#: family should *lose* (the honest half of the crossover).
+WORKLOADS: dict[str, Workload] = {w.name: w for w in [
+    Workload("nm-2:4", "nm", "256x256 @ 256x256",
+             _nm_pair,
+             "2:4 structured weight chain: exactly 2 nonzeros per group "
+             "of 4 columns, uniformly dense tiles"),
+    Workload("transformer-blockdiag", "transformer", "768x768 @ 768x768",
+             _transformer_pair,
+             "block-diagonal 64x64 attention-head blocks at 90% fill; "
+             "every occupied tile near-dense"),
+    Workload("gnn-adj-feat", "gnn", "3000x3000 @ 3000x256",
+             _gnn_pair,
+             "symmetric GNN adjacency times block-aligned feature "
+             "table (rectangular aggregation product)"),
+    Workload("web-powerlaw", "powerlaw", "4000x4000 @ 4000x4000",
+             _powerlaw_pair,
+             "power-law web graph squared: one entry per tile almost "
+             "everywhere -- the tile format's worst case"),
+]}
+
+
+def get_workload(name: str) -> Workload:
+    """Look up a structured workload by name."""
+    try:
+        return WORKLOADS[name]
+    except KeyError:
+        raise KeyError(f"unknown workload {name!r}; "
+                       f"known: {sorted(WORKLOADS)}") from None
+
+
+def workload_table() -> str:
+    """Render the registered dataset/workload generators (CLI
+    ``--list-datasets``): name, class tag and default shape -- without
+    building any matrix."""
+    lines = [f"{'name':<24} {'class':<12} {'shape':<22} note",
+             "-" * 86]
+    for ds in {**DATASETS, **LARGE_GRAPHS}.values():
+        shape = f"{ds.paper.rows:,} (paper rows)"
+        lines.append(f"{ds.name:<24} {ds.category:<12} {shape:<22} "
+                     f"{ds.note}")
+    for w in WORKLOADS.values():
+        lines.append(f"{w.name:<24} {w.wclass:<12} {w.shape:<22} {w.note}")
+    return "\n".join(lines)
 
 
 def instance_table(datasets: dict[str, Dataset] | None = None) -> str:

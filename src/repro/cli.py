@@ -63,6 +63,9 @@ def _build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("info", help="device model and group table")
     _add_device_arg(p)
+    p.add_argument("--list-datasets", action="store_true",
+                   help="also list the registered dataset/workload "
+                        "generators (name, class tag, default shape)")
 
     p = sub.add_parser("multiply", help="run one SpGEMM and report")
     src = p.add_mutually_exclusive_group()
@@ -241,6 +244,11 @@ def cmd_info(args) -> int:
 
     dev = _device(args.device)
     print(backend_for_spec(dev).render_info(dev))
+    if getattr(args, "list_datasets", False):
+        from repro.bench.datasets import workload_table
+
+        print("\nregistered dataset / workload generators:")
+        print(workload_table())
     return 0
 
 
@@ -440,9 +448,11 @@ def cmd_suite(args) -> int:
 
 
 def cmd_datasets(args) -> int:
-    from repro.bench.datasets import instance_table
+    from repro.bench.datasets import instance_table, workload_table
 
     print(instance_table())
+    print("\nregistered generators (no build):")
+    print(workload_table())
     return 0
 
 

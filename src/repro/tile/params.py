@@ -1,0 +1,79 @@
+"""Tunable parameters of the tile algorithm.
+
+The tile family's knobs are genuinely different from both the GPU's
+Table I space and the CPU's thread/block space: the tile edge fixes the
+format itself, and the two density cutoffs drive step 2's per-tile
+accumulator selection (dense array vs bitmap vs sorted list).
+:class:`TileParams` mirrors the ``ParamOverrides`` / ``CPUParams`` API
+surface -- ``is_default`` / ``switches`` / ``to_dict`` / ``from_dict`` /
+``describe`` -- so the autotuner, plan-cache keys and the persistent
+tuning store treat the third family uniformly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+
+#: Built-in defaults (see :mod:`repro.tile.plan` resolvers).
+DEFAULT_TILE_SIZE = 16
+DEFAULT_DENSE_FRAC = 0.5
+DEFAULT_LIST_FRAC = 0.125
+
+
+@dataclass(frozen=True)
+class TileParams:
+    """Tuned deviations from the tile algorithm's built-in defaults.
+
+    Every field defaults to ``None`` = "keep the built-in value".
+    Overrides only move accumulator-selection boundaries and the tile
+    edge -- the functional result is unchanged, which is what lets tuned
+    configs stay bit-identical to the reference oracle.
+
+    tile_size:
+        Tile edge in rows/columns (2..64; default 16).  Larger tiles
+        amortize per-tile metadata but dilute density on scattered
+        patterns.  Not searched by the autotuner (it changes the tiled
+        sketch itself); settable per instance.
+    dense_frac:
+        C-tile fill fraction at or above which step 2 picks the dense
+        ``tile x tile`` accumulator (default 0.5).
+    list_frac:
+        C-tile fill fraction at or below which step 2 picks the sorted
+        insertion list (default 0.125); between the cutoffs the bitmap
+        accumulator is used.
+    """
+
+    tile_size: int | None = None
+    dense_frac: float | None = None
+    list_frac: float | None = None
+
+    def is_default(self) -> bool:
+        """True when no field deviates from the built-in defaults."""
+        return all(getattr(self, f.name) is None for f in fields(self))
+
+    def switches(self) -> tuple:
+        """Canonical ``((field, value), ...)`` of the *set* fields only,
+        sorted by name -- folded into plan-cache keys, so a tuned and an
+        untuned run of the same pattern never share a plan."""
+        return tuple(sorted(
+            (f.name, getattr(self, f.name)) for f in fields(self)
+            if getattr(self, f.name) is not None))
+
+    def to_dict(self) -> dict:
+        """JSON-representable form (set fields only; round-trips through
+        :meth:`from_dict`)."""
+        return {k: v for k, v in self.switches()}
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "TileParams":
+        """Inverse of :meth:`to_dict`; unknown keys raise ``TypeError``."""
+        kwargs: dict = {}
+        for k, v in d.items():
+            kwargs[k] = int(v) if k == "tile_size" else float(v)
+        return cls(**kwargs)
+
+    def describe(self) -> str:
+        """Compact human-readable form (``default`` when nothing is set)."""
+        if self.is_default():
+            return "default"
+        return " ".join(f"{k}={v}" for k, v in self.switches())

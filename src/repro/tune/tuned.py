@@ -107,14 +107,21 @@ class TunedSpGEMM(SpGEMMAlgorithm):
 
         A2, B2, p = self._prepare(A, B, precision)
 
-        # probe with the device backend's own param type: an algorithm
-        # of another backend declines it, which is exactly "not tunable
-        # on this device"
-        probe = backend_for_spec(device).default_overrides()
-        if not self.inner.apply_param_overrides(probe):
+        # probe each of the device backend's tuning families with its own
+        # param type: the first one the inner accepts owns the search (an
+        # algorithm declines foreign types, so a hash inner lands on the
+        # Table I space and a tile inner on the tile space); an algorithm
+        # of another backend declines them all, which is exactly "not
+        # tunable on this device"
+        family = next(
+            (fam for fam in backend_for_spec(device).tuning_families(device)
+             if self.inner.apply_param_overrides(fam.default_overrides())),
+            None)
+        if family is None:
             result, applied, reason = None, False, "inner not tunable"
         else:
-            tuner = Autotuner(device, p, store=self.store, top_k=self.top_k)
+            tuner = Autotuner(device, p, store=self.store, top_k=self.top_k,
+                              family=family)
             result = tuner.tune(A2, B2, matrix_name=matrix_name)
             applied = self.inner.apply_param_overrides(result.overrides)
             reason = ""

@@ -34,7 +34,7 @@ from repro.gpu.cost import kernel_duration_alone
 from repro.gpu.device import DeviceSpec
 from repro.sparse.csr import CSRMatrix
 from repro.sparse.reference import spgemm_reference
-from repro.tune.sketch import MatrixSketch, sketch_matrix
+from repro.tune.sketch import MatrixSketch, sketch_matrix  # noqa: F401  (re-exported)
 from repro.tune.store import TuningStore
 from repro.types import Precision
 
@@ -186,21 +186,27 @@ class Autotuner:
     """Searches one backend's parameter space for ``(matrix, device,
     precision)``.
 
-    The device's owning backend supplies the search grid, the sketch
-    objective, the measurement algorithm and the override codec
-    (:class:`~repro.backend.base.Backend` tuning hooks), so GPU Table I
-    searches and CPU thread/block searches share this one driver.
-    ``store`` (a :class:`~repro.tune.store.TuningStore`) short-circuits
-    repeat instances; ``None`` tunes from scratch every call.
+    A :class:`~repro.backend.base.TuningFamily` supplies the search
+    grid, the sketch builder, the sketch objective, the measurement
+    algorithm and the override codec, so GPU Table I searches, CPU
+    thread/block searches and the tile family's density-cutoff search
+    share this one driver.  ``family=None`` selects the device backend's
+    primary family (its five tuning hooks) -- bit-identical to the
+    pre-family tuner.  ``store`` (a :class:`~repro.tune.store.
+    TuningStore`) short-circuits repeat instances; ``None`` tunes from
+    scratch every call.  Families namespace their sketch digests, so one
+    store serves all of them without key collisions.
     """
 
     def __init__(self, device: DeviceSpec, precision: Precision | str, *,
                  store: TuningStore | None = None,
-                 top_k: int = DEFAULT_TOP_K) -> None:
+                 top_k: int = DEFAULT_TOP_K,
+                 family=None) -> None:
         from repro.backend import backend_for_spec
 
         self.device = device
         self.backend = backend_for_spec(device)
+        self.family = family or self.backend.tuning_families(device)[0]
         self.precision = Precision.parse(precision)
         self.store = store
         self.top_k = max(1, int(top_k))
@@ -209,7 +215,7 @@ class Autotuner:
                  matrix_name: str):
         """One real multiply under ``ov``; ``(seconds, result)`` or
         ``(inf, None)`` when the config cannot run at all."""
-        algo = self.backend.tuning_algorithm(ov)
+        algo = self.family.algorithm(ov)
         try:
             res = algo.multiply(A, B, precision=self.precision,
                                 device=self.device, matrix_name=matrix_name)
@@ -220,19 +226,19 @@ class Autotuner:
     def tune(self, A: CSRMatrix, B: CSRMatrix, *,
              matrix_name: str = "") -> TuneResult:
         """Full search (or store hit) for one instance."""
-        sketch = sketch_matrix(A, B)
+        sketch = self.family.sketch(A, B)
         digest = sketch.digest()
         if self.store is not None:
             entry = self.store.get(self.device.name, self.precision.value,
                                    digest)
             if entry is not None:
                 return TuneResult.from_entry(entry, digest,
-                                             self.backend.decode_overrides)
+                                             self.family.decode_overrides)
 
-        default_ov = self.backend.default_overrides()
-        candidates = self.backend.tuning_candidates(self.device)
-        scored = [(self.backend.modeled_total(sketch, self.device,
-                                              self.precision, ov), ov)
+        default_ov = self.family.default_overrides()
+        candidates = self.family.candidates(self.device)
+        scored = [(self.family.modeled_total(sketch, self.device,
+                                             self.precision, ov), ov)
                   for ov in candidates]
         default_score = scored[0][0]
         ranked = sorted((s for s in scored[1:] if s[0] < float("inf")),

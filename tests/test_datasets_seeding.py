@@ -1,0 +1,103 @@
+"""Dataset-seeding regression: every generator routes through the one
+RNG factory, with cross-process bit-determinism.
+
+The factory contract: :func:`repro.bench.datasets.dataset_rng` returns a
+*fresh* generator per call (no module-level RNG state), legacy Table II
+names keep their historical integer seeds (goldens and the bench
+baseline depend on those exact bit patterns), and a separate process
+building the same dataset gets byte-identical matrices -- which is why
+the factory hashes names with ``zlib.crc32``, never the salted
+:func:`hash`.
+"""
+
+import hashlib
+import subprocess
+import sys
+
+import numpy as np
+import pytest
+
+from repro.bench.datasets import (DATASETS, LARGE_GRAPHS, WORKLOADS,
+                                  _LEGACY_SEEDS, dataset_rng, get_workload)
+
+#: A digest-producing snippet run in fresh interpreters (no state shared
+#: with this process).  Prints one ``name digest`` line per dataset and
+#: workload operand.
+_CHILD = r"""
+import hashlib
+from repro.bench.datasets import DATASETS, LARGE_GRAPHS, WORKLOADS
+
+def digest(M):
+    h = hashlib.sha256()
+    for a in (M.rpt, M.col, M.val):
+        h.update(a.tobytes())
+    return h.hexdigest()[:16]
+
+for name in sorted(DATASETS) + sorted(LARGE_GRAPHS):
+    ds = DATASETS.get(name) or LARGE_GRAPHS[name]
+    print(name.replace(" ", "_"), digest(ds.matrix()))
+    ds.drop()
+for name in sorted(WORKLOADS):
+    A, B = WORKLOADS[name].matrices()
+    print(name + "/A", digest(A))
+    print(name + "/B", digest(B))
+    WORKLOADS[name].drop()
+"""
+
+
+def _digest(M) -> str:
+    h = hashlib.sha256()
+    for a in (M.rpt, M.col, M.val):
+        h.update(a.tobytes())
+    return h.hexdigest()[:16]
+
+
+class TestFactory:
+    def test_fresh_generator_per_call(self):
+        r1, r2 = dataset_rng("Protein"), dataset_rng("Protein")
+        assert r1 is not r2
+        assert r1.random() == r2.random()
+
+    def test_legacy_names_keep_their_seeds(self):
+        for name, seed in _LEGACY_SEEDS.items():
+            assert (dataset_rng(name).random()
+                    == np.random.default_rng(seed).random()), name
+
+    def test_new_names_derive_from_base_seed(self):
+        a = dataset_rng("some-new-workload").random()
+        b = dataset_rng("some-new-workload").random()
+        c = dataset_rng("some-other-workload").random()
+        assert a == b
+        assert a != c
+
+    def test_every_dataset_covered(self):
+        assert set(_LEGACY_SEEDS) == set(DATASETS) | set(LARGE_GRAPHS)
+        assert not set(_LEGACY_SEEDS) & set(WORKLOADS)
+
+    def test_build_order_independent(self):
+        """No module RNG state: building A does not perturb B."""
+        w = get_workload("nm-2:4")
+        a_alone = _digest(w.matrices()[0])
+        w.drop()
+        get_workload("web-powerlaw").matrices()
+        get_workload("web-powerlaw").drop()
+        a_after = _digest(w.matrices()[0])
+        w.drop()
+        assert a_alone == a_after
+
+
+@pytest.mark.corpus
+class TestCrossProcess:
+    def test_two_processes_bit_identical(self):
+        """The determinism regression: two fresh interpreters build every
+        dataset and workload byte-identically (catches any module-level
+        RNG state and any use of the per-process-salted ``hash``)."""
+        outs = []
+        for _ in range(2):
+            proc = subprocess.run(
+                [sys.executable, "-c", _CHILD], capture_output=True,
+                text=True, check=True)
+            outs.append(proc.stdout)
+        assert outs[0] == outs[1]
+        assert len(outs[0].strip().splitlines()) == (
+            len(DATASETS) + len(LARGE_GRAPHS) + 2 * len(WORKLOADS))
