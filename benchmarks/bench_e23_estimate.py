@@ -1,0 +1,108 @@
+"""E23 -- estimated vs exact symbolic phase on cold runs.
+
+No single paper figure -- this measures what the post-paper
+``symbolic='estimate'`` mode buys on the Table II analogues: the sampled
+row-product estimator replaces the exact count kernels with one cheap
+sample kernel plus margin-inflated allocation bounds, so a cold run's
+symbolic phase (setup + count) shrinks wherever counting dominated.
+Three questions:
+
+1. *Savings* -- which dataset classes reward estimation (uniform rows:
+   cheap bounds replace expensive counting) and which punish it
+   (power-law tails: the sample kernel costs more than it saves)?
+2. *Identity* -- estimation never changes results, only modeled time:
+   every run is asserted bit-identical to the exact pipeline, including
+   forced bound-violation recovery (1 sample, zero margin).
+3. *Recovery* -- violated bounds recount through global tables and the
+   conservation law ``estimated == within_bound + recovered`` holds.
+
+The gate: estimation must cut the modeled cold-run symbolic phase on at
+least two matrices, and every run (clean or recovering) must match the
+exact pipeline to the byte.
+"""
+
+from repro.bench.datasets import get_dataset
+from repro.obs.metrics import (check_estimate_conservation,
+                               metrics_from_report)
+from repro.options import multiply
+
+from benchmarks.conftest import run_once
+
+PRECISION = "single"
+
+#: Table II analogues: two uniform-row classes that reward estimation,
+#: one scatter class, and the power-law control that punishes it.
+DATASETS = ("Protein", "Economics", "Epidemiology", "Circuit")
+
+#: Degenerate sampling: forces bound violations -> the recovery path.
+FORCE_VIOLATIONS = {"estimate_samples": 1, "estimate_margin": 0.0}
+
+#: Datasets where degenerate sampling underestimates (skewed column
+#: degrees).  Uniform-row classes estimate exactly even from one sample,
+#: so they must NOT take the recovery path.
+VIOLATING = {"Economics", "Circuit"}
+
+
+def _symbolic_seconds(report) -> float:
+    return report.phase_seconds["setup"] + report.phase_seconds["count"]
+
+
+def test_e23_estimate_savings(benchmark, show):
+    def run_all():
+        rows = []
+        for name in DATASETS:
+            A = get_dataset(name).matrix()
+            exact = multiply(A, A, precision=PRECISION, matrix_name=name)
+            est = multiply(A, A, precision=PRECISION, matrix_name=name,
+                           symbolic="estimate")
+            forced = multiply(A, A, precision=PRECISION, matrix_name=name,
+                              symbolic="estimate",
+                              algo_options=FORCE_VIOLATIONS)
+            rows.append((name, exact, est, forced))
+        return rows
+
+    rows = run_once(benchmark, run_all)
+
+    lines = []
+    saved = 0
+    for name, exact, est, forced in rows:
+        ex_sym = _symbolic_seconds(exact.report)
+        es_sym = _symbolic_seconds(est.report)
+        saving = 1.0 - es_sym / ex_sym
+        if es_sym < ex_sym:
+            saved += 1
+
+        # bit-identity: estimation changes modeled time, never results --
+        # for the clean run AND the forced bound-violation recovery
+        for r in (est, forced):
+            assert (r.matrix.rpt == exact.matrix.rpt).all(), name
+            assert (r.matrix.col == exact.matrix.col).all(), name
+            assert (r.matrix.val == exact.matrix.val).all(), name
+
+        # the conservation law, clean and recovering
+        m_clean = metrics_from_report(est.report)
+        m_forced = metrics_from_report(forced.report)
+        check_estimate_conservation(m_clean)
+        check_estimate_conservation(m_forced)
+        recovered = int(m_forced.total("estimate_rows_total",
+                                       status="recovered"))
+        if name in VIOLATING:
+            assert recovered > 0, \
+                f"{name}: degenerate sampling never violated"
+        else:
+            assert recovered == 0, \
+                f"{name}: uniform rows should estimate exactly"
+
+        lines.append(
+            f"  {name:<14} exact sym {ex_sym * 1e6:8.1f}us  "
+            f"est sym {es_sym * 1e6:8.1f}us  ({saving:+7.1%})  "
+            f"total {exact.report.total_seconds * 1e6:8.1f} -> "
+            f"{est.report.total_seconds * 1e6:8.1f}us  "
+            f"recovered(forced) {recovered}")
+    lines.append(f"  tally: symbolic phase cheaper on {saved}/{len(rows)}")
+    show(f"E23: estimated vs exact symbolic phase, cold runs [{PRECISION}]",
+         "\n".join(lines))
+
+    # the savings gate: the estimator must pay off on at least two
+    # matrices (uniform-row classes); the power-law control may lose
+    assert saved >= 2, "estimation saved symbolic time on < 2 matrices"

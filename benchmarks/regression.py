@@ -20,7 +20,12 @@ native algorithms, and the exact GPU-vs-CPU crossover tally), plus the
 E22 tile slice (schema 7: the structured workloads through the tile and
 hash pipelines with the exact per-class win tally and the sketch-based
 selector's agreement count -- all three are deterministic integers, so
-any drift is a behavior change).
+any drift is a behavior change), plus the E23 estimate slice (schema 8:
+the pinned datasets cold-run with ``symbolic='estimate'`` vs exact --
+the per-matrix symbolic-phase seconds are hard-gated wherever the
+baseline shows a saving, and the recovered/within-bound row counts of a
+forced bound-violation run are exact integers pinned like the serve
+counts).
 All other compared quantities are *modeled* device numbers, so they are
 exactly reproducible across runners; the overall wall-clock is recorded
 for context and only fenced loosely (runner variance).
@@ -56,7 +61,7 @@ WALLCLOCK_REPEATS = 5
 #: The pinned subset: one high- and one low-throughput analogue.
 DATASETS = ("Protein", "Circuit")
 PRECISION = "single"
-SCHEMA = 7
+SCHEMA = 8
 
 #: The cross-backend slice (E21): the same datasets through every CPU
 #: preset, plus the architecture-crossover tally (which architecture's
@@ -72,6 +77,12 @@ DIST_INTERCONNECT = "nvlink"
 #: known-suboptimal, over matrices where the search finds a strict win.
 TUNE_DEVICE = "K40"
 TUNE_DATASETS = ("Protein", "Circuit", "Economics")
+
+#: The E23 slice: cold-run estimated vs exact symbolic phase.  Two
+#: uniform-row classes where estimation is known to pay off, plus the
+#: power-law control where it is known to lose (sample-kernel cost).
+ESTIMATE_DATASETS = ("Protein", "Economics", "Epidemiology", "Circuit")
+ESTIMATE_FORCE = {"estimate_samples": 1, "estimate_margin": 0.0}
 
 #: The serve slice (E19): one pinned chaos storm through the server.
 #: Counts are exact (deterministic per-job fault plans, one worker);
@@ -207,6 +218,45 @@ def collect() -> dict:
                 "tile_wins": tile_wins, "hash_wins": hash_wins,
                 "selector_correct": selector_correct})
 
+    # the E23 slice (schema 8): cold-run estimated vs exact symbolic
+    # phase, plus the forced-recovery row counts (exact integers)
+    from repro.obs.metrics import (check_estimate_conservation,
+                                   metrics_from_report)
+    from repro.options import multiply as facade_multiply
+
+    estimate_saved = 0
+    for name in ESTIMATE_DATASETS:
+        A = get_dataset(name).matrix()
+        exact = facade_multiply(A, A, precision=PRECISION,
+                                matrix_name=name)
+        est = facade_multiply(A, A, precision=PRECISION, matrix_name=name,
+                              symbolic="estimate")
+        forced = facade_multiply(A, A, precision=PRECISION,
+                                 matrix_name=name, symbolic="estimate",
+                                 algo_options=dict(ESTIMATE_FORCE))
+        for r in (est, forced):
+            assert (r.matrix.rpt == exact.matrix.rpt).all(), name
+            assert (r.matrix.col == exact.matrix.col).all(), name
+            assert (r.matrix.val == exact.matrix.val).all(), name
+        m = metrics_from_report(forced.report)
+        check_estimate_conservation(m)
+        ex_sym = (exact.report.phase_seconds["setup"]
+                  + exact.report.phase_seconds["count"])
+        es_sym = (est.report.phase_seconds["setup"]
+                  + est.report.phase_seconds["count"])
+        estimate_saved += int(es_sym < ex_sym)
+        out.append({"dataset": name, "algorithm": "estimate",
+                    "total_seconds": est.report.total_seconds,
+                    "symbolic_seconds": es_sym,
+                    "exact_symbolic_seconds": ex_sym,
+                    "estimate_recovered_rows": int(
+                        m.total("estimate_rows_total", status="recovered")),
+                    "estimate_within_rows": int(
+                        m.total("estimate_rows_total",
+                                status="within_bound"))})
+    out.append({"dataset": "E23", "algorithm": "estimate-savings",
+                "estimate_saved_matrices": estimate_saved})
+
     # the E19 slice: the pinned chaos storm through the serving layer
     from repro.bench.runner import run_serve_storm
 
@@ -292,13 +342,33 @@ def compare(baseline: dict, current: dict) -> list[str]:
                     f"x{c.get('tune_speedup', 1.0):.3f})")
         for field in ("serve_completed", "serve_retries", "serve_degraded",
                       "serve_naive_completed", "gpu_wins", "cpu_wins",
-                      "tile_wins", "hash_wins", "selector_correct"):
-            # serve counts and the E21/E22 crossover tallies are
-            # deterministic: any drift is a behavior change, not noise --
-            # refresh the baseline on purpose
+                      "tile_wins", "hash_wins", "selector_correct",
+                      "estimate_recovered_rows", "estimate_within_rows",
+                      "estimate_saved_matrices"):
+            # serve counts, the E21/E22 crossover tallies and the E23
+            # recovery row counts are deterministic: any drift is a
+            # behavior change, not noise -- refresh the baseline on purpose
             if field in b and c.get(field) != b[field]:
                 problems.append(f"{where}: {field} changed "
                                 f"{b[field]} -> {c.get(field)}")
+        if "symbolic_seconds" in b:
+            # the E23 slice: where the baseline shows a symbolic-phase
+            # saving, estimation must keep paying off (hard gate), and
+            # the phase itself gets the usual modeled fence
+            if (b["symbolic_seconds"] < b["exact_symbolic_seconds"]
+                    and c["symbolic_seconds"]
+                    >= c["exact_symbolic_seconds"]):
+                problems.append(
+                    f"{where}: estimated symbolic phase no longer beats "
+                    f"exact ({c['symbolic_seconds'] * 1e6:.1f} vs "
+                    f"{c['exact_symbolic_seconds'] * 1e6:.1f} us)")
+            if (c["symbolic_seconds"] > b["symbolic_seconds"]
+                    * (1.0 + MODELED_TOLERANCE)):
+                problems.append(
+                    f"{where}: estimated symbolic phase regressed "
+                    f"{b['symbolic_seconds'] * 1e6:.1f} -> "
+                    f"{c['symbolic_seconds'] * 1e6:.1f} us "
+                    f"(>{MODELED_TOLERANCE:.0%})")
         if "gflops" in b and c["gflops"] < b["gflops"] * (1.0 - MODELED_TOLERANCE):
             problems.append(
                 f"{where}: modeled GFLOPS regressed "

@@ -18,11 +18,10 @@ Quick start::
     print(result.report.summary())
 
 :func:`repro.multiply` with a :class:`repro.SpGEMMOptions` is the public
-API; ``repro.spgemm`` and the per-algorithm wrappers remain as
-deprecated shims with identical results.
+API.  The legacy entry points (``repro.spgemm``, ``hash_spgemm``,
+``resilient_spgemm``) were deprecation shims for two majors and now
+raise :class:`RemovedAPIError` with a migration message.
 """
-
-import warnings as _warnings
 
 from repro import sparse
 from repro.base import SpGEMMAlgorithm, SpGEMMResult
@@ -44,7 +43,9 @@ from repro.errors import (
     DeviceMemoryError,
     HashTableError,
     JobTimeoutError,
+    OptionsError,
     PlanMismatchError,
+    RemovedAPIError,
     ReproError,
     SchedulerError,
     ServeError,
@@ -54,6 +55,7 @@ from repro.errors import (
     UnknownAlgorithmError,
     UnknownDeviceError,
 )
+from repro.estimate import RowEstimate, estimate_row_nnz
 from repro.backend import (
     Backend,
     backend_for_spec,
@@ -100,6 +102,7 @@ __all__ = [
     "Precision",
     "ResilienceReport",
     "ResilientSpGEMM",
+    "RowEstimate",
     "SimReport",
     "SpGEMMAlgorithm",
     "ServePolicy",
@@ -120,6 +123,7 @@ __all__ = [
     "register_backend",
     "resolve_device",
     "build_group_table",
+    "estimate_row_nnz",
     "generators",
     "hash_spgemm",
     "multiply",
@@ -137,7 +141,9 @@ __all__ = [
     "DeviceMemoryError",
     "HashTableError",
     "JobTimeoutError",
+    "OptionsError",
     "PlanMismatchError",
+    "RemovedAPIError",
     "ReproError",
     "SchedulerError",
     "ServeError",
@@ -156,24 +162,15 @@ def algorithms() -> dict[str, type[SpGEMMAlgorithm]]:
     return dict(ALGORITHMS)
 
 
-def spgemm(A: CSRMatrix, B: CSRMatrix, *, algorithm: str = "proposal",
-           precision: Precision | str = Precision.DOUBLE, device: DeviceSpec = P100,
-           matrix_name: str = "", faults: FaultPlan | None = None,
-           options: SpGEMMOptions | None = None, **algo_options) -> SpGEMMResult:
-    """Multiply two CSR matrices with a named algorithm.
+def spgemm(*args: object, **kwargs: object) -> SpGEMMResult:
+    """Removed legacy entry point.
 
     .. deprecated:: 1.1
-        The scattered-kwargs form is superseded by :func:`repro.multiply`
-        with a :class:`SpGEMMOptions`; this shim maps onto it (identical
-        results) and emits a :class:`DeprecationWarning`.  Passing
-        ``options=`` directly is the migrated spelling and does not warn.
+        Deprecated in 1.1, removed in 2.0.  Use :func:`repro.multiply`
+        with a :class:`SpGEMMOptions` (or keyword option fields) instead.
     """
-    if options is None:
-        _warnings.warn(
-            "repro.spgemm(algorithm=..., **kwargs) is deprecated; use "
-            "repro.multiply(A, B, options=SpGEMMOptions(...))",
-            DeprecationWarning, stacklevel=2)
-        options = SpGEMMOptions(algorithm=algorithm, precision=precision,
-                                device=device, algo_options=algo_options)
-    return multiply(A, B, options=options, matrix_name=matrix_name,
-                    faults=faults)
+    raise RemovedAPIError(
+        "repro.spgemm()",
+        "repro.multiply(A, B, options=SpGEMMOptions(...)) or "
+        "repro.multiply(A, B, algorithm=..., precision=..., ...)",
+    )

@@ -50,6 +50,10 @@ class GPUBackend(Backend):
         return ParamOverrides.from_dict(d)
 
     def tuning_candidates(self, spec: DeviceSpec) -> list:
+        """Table I grid crossed with the ``symbolic`` axis: every table
+        configuration is scored under both the exact counting pass and
+        the sampled estimator (:mod:`repro.estimate`), so a tuned config
+        can select ``symbolic='estimate'`` per matrix sketch."""
         from repro.tune.tuner import candidate_space
 
         return candidate_space(spec)

@@ -252,7 +252,7 @@ def run_serve_storm(seed: int, oom_rate: float, *, n_jobs: int = 18,
 
     mats = _storm_matrices(precision)
     names = sorted(mats)
-    options = SpGEMMOptions(devices=devices, precision=precision)
+    options = SpGEMMOptions().evolve(devices=devices, precision=precision)
     refs = {n: multiply(m, m, options=options) for n, m in mats.items()}
 
     def job_faults(i: int) -> FaultPlan | None:

@@ -98,7 +98,7 @@ def e17_dist_pass(*, n_iters: int = E17_ITERS,
 
     A = generators.banded(1200, 20, rng=0)
     mats = _iterates(A, n_iters)
-    opts = SpGEMMOptions(devices=n_devices, interconnect="nvlink")
+    opts = SpGEMMOptions().evolve(devices=n_devices, interconnect="nvlink")
     runner = runner_for(opts)   # long-lived, as a service would hold it
     nnz = 0
     for M in mats:

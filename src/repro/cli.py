@@ -84,6 +84,13 @@ def _build_parser() -> argparse.ArgumentParser:
                         "the proposal)")
     p.add_argument("--precision", choices=("single", "double"),
                    default="double")
+    p.add_argument("--symbolic", choices=("exact", "estimate"),
+                   default="exact",
+                   help="symbolic phase: 'exact' counts nnz(C) per row "
+                        "(the paper's two-phase flow); 'estimate' samples "
+                        "row products for an upper bound and recovers via "
+                        "the resilience ladder when a bound is violated "
+                        "(identical results, different modeled time)")
     p.add_argument("--engine", action=argparse.BooleanOptionalAction,
                    default=None,
                    help="route the multiply through the plan-cached "
@@ -295,14 +302,16 @@ def _options_from_args(args, repeat: int):
         engine = args.engine if args.engine is not None else repeat > 1
     memory_budget = (int(args.memory_budget * (1 << 20))
                      if args.memory_budget is not None else None)
-    return SpGEMMOptions(
+    # evolve() re-runs the facade's validation on the flag-derived fields
+    return SpGEMMOptions().evolve(
         algorithm=algorithm, precision=args.precision,
         device=_device(args.device), engine=engine,
         resilient=args.resilient, memory_budget=memory_budget,
         max_panels=args.max_panels, devices=devices,
         interconnect=args.interconnect,
         tune=args.tune or bool(args.tune_store),
-        tune_store=args.tune_store)
+        tune_store=args.tune_store,
+        symbolic=getattr(args, "symbolic", "exact"))
 
 
 def cmd_multiply(args) -> int:
@@ -523,7 +532,7 @@ def cmd_serve(args) -> int:
     if args.devices:
         spec = args.devices.strip()
         devices = int(spec) if spec.isdigit() else tuple(spec.split(","))
-    options = SpGEMMOptions(
+    options = SpGEMMOptions().evolve(
         algorithm=ALGORITHM_ALIASES.get(args.algorithm, args.algorithm),
         precision=args.precision, device=_device(args.device),
         devices=devices)

@@ -28,7 +28,7 @@ class GroupAssignment:
     """
 
     table: GroupTable
-    metric: str                     #: 'products' or 'nnz'
+    metric: str                     #: 'products', 'nnz' or 'estimate'
     gids: np.ndarray
     rows_by_group: list[np.ndarray]
 
@@ -73,7 +73,10 @@ class GroupAssignment:
 def _bounds(params: GroupParams, metric: str) -> tuple[int, float]:
     if metric == "products":
         lo, hi = params.min_products, params.max_products
-    elif metric == "nnz":
+    elif metric in ("nnz", "estimate"):
+        # an estimated bound is grouped exactly like an exact nnz count:
+        # the bound stands in for nnz, so each row's numeric table holds
+        # at least bound >= nnz entries (overflow only on a violation)
         lo, hi = params.min_nnz, params.max_nnz
     else:
         raise AlgorithmError(f"unknown grouping metric {metric!r}")

@@ -89,6 +89,13 @@ class ParamOverrides:
         Functional only: the cost model is multiplier-invariant, so the
         search keeps it unless a collision pathology is being probed, and
         the oracle validation guards any value.
+    symbolic:
+        ``'estimate'`` replaces the exact count phase with the sampled
+        estimator of :mod:`repro.estimate` (``'exact'`` forces the
+        paper's count kernels).  A string, not a table input:
+        :func:`build_group_table` ignores it, but it participates in
+        :meth:`switches` so plan-cache keys partition estimated vs
+        exact plans and the autotuner can search it as an axis.
     """
 
     t_max: int | None = None
@@ -96,6 +103,7 @@ class ParamOverrides:
     pwarp_nnz_max: int | None = None
     max_block_threads: int | None = None
     hash_scal: int | None = None
+    symbolic: str | None = None
 
     def is_default(self) -> bool:
         """True when no field deviates from Table I."""
@@ -117,7 +125,8 @@ class ParamOverrides:
     @classmethod
     def from_dict(cls, d: dict) -> "ParamOverrides":
         """Inverse of :meth:`to_dict`; unknown keys raise ``TypeError``."""
-        return cls(**{k: int(v) for k, v in d.items()})
+        return cls(**{k: (str(v) if k == "symbolic" else int(v))
+                      for k, v in d.items()})
 
     def describe(self) -> str:
         """Compact human-readable form (``default`` when nothing is set)."""

@@ -34,7 +34,8 @@ import numpy as np
 
 from repro.base import SpGEMMAlgorithm, SpGEMMResult
 from repro.core.count_products import count_products
-from repro.errors import DeviceLostError, DeviceMemoryError, HashTableError
+from repro.errors import (DeviceLostError, DeviceMemoryError, HashTableError,
+                          RemovedAPIError)
 from repro.gpu.device import P100, DeviceSpec
 from repro.gpu.faults import FaultPlan
 from repro.gpu.timeline import PHASES, KernelRecord, SimReport
@@ -73,6 +74,9 @@ class ResilienceReport:
     recovered: bool = False       #: succeeded after at least one failure
     final_algorithm: str | None = None
     final_strategy: str | None = None
+    #: hash-table overflows that downgraded an estimated symbolic phase
+    #: back to the exact count kernels (symbolic='estimate' runs only)
+    estimate_downgrades: int = 0
 
     def summary(self) -> str:
         """Human-readable one-paragraph account of the ladder."""
@@ -239,6 +243,17 @@ class ResilientSpGEMM(SpGEMMAlgorithm):
                     self._emit_ladder(result.report, rep)
                     return result
                 last_error = err
+                # a hash-table overflow under an estimated symbolic
+                # phase indicts the bounds, not the budget: downgrade
+                # this algorithm to the exact count kernels for the
+                # remaining rungs (fallback algorithms already run
+                # exact -- they get no options)
+                if (isinstance(err, HashTableError)
+                        and getattr(algo, "effective_symbolic", "exact")
+                        == "estimate"
+                        and hasattr(algo, "exact_variant")):
+                    algo = algo.exact_variant()
+                    rep.estimate_downgrades += 1
 
         assert last_error is not None
         last_error.resilience = rep
@@ -332,18 +347,13 @@ def resilient_spgemm(A: CSRMatrix, B: CSRMatrix, *,
                      device: DeviceSpec = P100, matrix_name: str = "",
                      faults: FaultPlan | None = None,
                      **options) -> SpGEMMResult:
-    """Convenience wrapper: ``ResilientSpGEMM(**options).multiply(...)``.
+    """Removed legacy wrapper (was deprecated in 1.1, removed in 3.0).
 
-    .. deprecated:: 1.1
-        Use ``repro.multiply(A, B, options=SpGEMMOptions(
-        algorithm="resilient", ...))``; this shim stays bit-identical.
+    Raises :class:`~repro.errors.RemovedAPIError` unconditionally; use
+    ``repro.multiply(A, B, resilient=True, ...)`` or instantiate
+    :class:`ResilientSpGEMM` directly.
     """
-    import warnings
-
-    warnings.warn(
-        "resilient_spgemm() is deprecated; use repro.multiply with "
-        "SpGEMMOptions(algorithm='resilient', ...)",
-        DeprecationWarning, stacklevel=2)
-    return ResilientSpGEMM(**options).multiply(
-        A, B, precision=precision, device=device, matrix_name=matrix_name,
-        faults=faults)
+    raise RemovedAPIError(
+        "resilient_spgemm()",
+        "repro.multiply(A, B, resilient=True, ...) or "
+        "ResilientSpGEMM(**options).multiply(A, B, ...)")

@@ -95,6 +95,19 @@ Event kinds
     ``coalesced``).  The conservation law
     :func:`~repro.obs.metrics.check_serve_conservation` pins submissions
     against these outcomes.
+``estimate_sample`` / ``estimate_bound`` / ``estimate_recover``
+    The estimated symbolic phase (``symbolic='estimate'``; only emitted
+    on estimate-mode runs, so exact-mode traces -- including every
+    golden -- are unchanged).  ``estimate_sample`` records one sampling
+    pass (``name`` is the matrix; attrs: ``samples``, ``margin``,
+    ``seed``, ``sampled_rows``, ``exact_rows``); ``estimate_bound`` the
+    resulting per-row bounds (attrs: ``rows``, ``within``,
+    ``overalloc_nnz`` -- the slack the bounds allocate above the true
+    output); ``estimate_recover`` the exact global-table recount of
+    bound-violating rows (attrs: ``rows``, ``table_bytes``; absent when
+    no bound was violated).  The conservation law
+    :func:`~repro.obs.metrics.check_estimate_conservation` pins
+    estimated rows against within-bound plus recovered.
 ``tune_hit`` / ``tune_miss`` / ``tune_search`` / ``tune_apply``
     Autotuner traffic of :class:`~repro.tune.TunedSpGEMM`; ``name`` is
     the sketch digest keying the tuning store.  A ``tune_hit`` reuses a
@@ -172,17 +185,24 @@ SERVE_DEGRADE = "serve_degrade"
 SERVE_COALESCE = "serve_coalesce"
 SERVE_BREAKER = "serve_breaker"
 SERVE_DONE = "serve_done"
+ESTIMATE_SAMPLE = "estimate_sample"
+ESTIMATE_BOUND = "estimate_bound"
+ESTIMATE_RECOVER = "estimate_recover"
 
 #: The serving-layer kinds as a family (metrics/export route them together).
 SERVE_KINDS = (SERVE_SUBMIT, SERVE_ADMIT, SERVE_REJECT, SERVE_TIMEOUT,
                SERVE_RETRY, SERVE_DEGRADE, SERVE_COALESCE, SERVE_BREAKER,
                SERVE_DONE)
 
+#: The estimated-symbolic-phase kinds as a family.
+ESTIMATE_KINDS = (ESTIMATE_SAMPLE, ESTIMATE_BOUND, ESTIMATE_RECOVER)
+
 #: All kinds the pipeline emits (exporters treat unknown kinds as opaque).
 EVENT_KINDS = (KERNEL_LAUNCH, KERNEL_RETIRE, CHARGE, ALLOC, FREE, GROUPING,
                HASH_STATS, FAULT, RUN_ABORT, RESILIENCE, CACHE_HIT,
                CACHE_MISS, CACHE_EVICT, COMM, DIST_PANEL, DEVICE_LOST,
-               TUNE_HIT, TUNE_MISS, TUNE_SEARCH, TUNE_APPLY) + SERVE_KINDS
+               TUNE_HIT, TUNE_MISS, TUNE_SEARCH,
+               TUNE_APPLY) + SERVE_KINDS + ESTIMATE_KINDS
 
 #: ``source`` values a ``charge`` event may carry.  ``comm`` charges are
 #: interconnect wall time; ``devices`` charges are the critical-path

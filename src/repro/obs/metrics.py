@@ -355,6 +355,37 @@ def aggregate_events(reg: MetricsRegistry, events) -> None:
                     e.attrs.get("speedup", 1.0), sketch=e.name)
         elif e.kind in E.SERVE_KINDS:
             _aggregate_serve_event(reg, e)
+        elif e.kind in E.ESTIMATE_KINDS:
+            _aggregate_estimate_event(reg, e)
+
+
+def _aggregate_estimate_event(reg: MetricsRegistry, e) -> None:
+    """One estimated-symbolic-phase event into the ``estimate_*`` families.
+
+    ``estimate_rows_total{status}`` is the conservation family: every
+    estimated row is either within its bound or recovered by the exact
+    recount, which :func:`check_estimate_conservation` asserts.
+    """
+    rows = reg.counter("estimate_rows_total",
+                       "rows by bound outcome (conservation family)")
+    if e.kind == E.ESTIMATE_SAMPLE:
+        reg.counter("estimate_passes_total",
+                    "estimator sampling passes").inc(1)
+        reg.counter("estimate_sampled_rows_total",
+                    "rows whose bound came from sampling (the rest "
+                    "carried their exact product count)").inc(
+            e.attrs.get("sampled_rows", 0))
+    elif e.kind == E.ESTIMATE_BOUND:
+        rows.inc(e.attrs.get("rows", 0), status="estimated")
+        rows.inc(e.attrs.get("within", 0), status="within_bound")
+        reg.counter("estimate_overalloc_nnz_total",
+                    "output slack allocated above the true nnz").inc(
+            e.attrs.get("overalloc_nnz", 0))
+    elif e.kind == E.ESTIMATE_RECOVER:
+        rows.inc(e.attrs.get("rows", 0), status="recovered")
+        reg.counter("estimate_recover_table_bytes_total",
+                    "global recount tables for bound-violating rows").inc(
+            e.attrs.get("table_bytes", 0))
 
 
 def _aggregate_serve_event(reg: MetricsRegistry, e) -> None:
@@ -454,6 +485,30 @@ def check_conservation(report: "SimReport", *, tol: float = 1e-9) -> None:
             raise AssertionError(
                 f"device-wave time {wave!r} exceeds the panels' combined "
                 f"span {sum(panel_secs)!r}")
+
+
+def check_estimate_conservation(reg: MetricsRegistry) -> None:
+    """Assert the estimated symbolic phase's row-conservation law.
+
+    Every row whose nnz was estimated must either sit within its bound
+    or be recovered by the exact global-table recount::
+
+        estimated == within_bound + recovered
+
+    ``reg`` is a registry over an estimate-mode run's events
+    (:func:`metrics_from_report`); exact-mode runs carry no
+    ``estimate_*`` families and pass vacuously.  Raises
+    :class:`AssertionError` naming the imbalance -- a violation means a
+    bound-violating row was neither recounted nor accounted for, i.e. a
+    potentially corrupt output allocation went unnoticed.
+    """
+    estimated = reg.value("estimate_rows_total", status="estimated")
+    within = reg.value("estimate_rows_total", status="within_bound")
+    recovered = reg.value("estimate_rows_total", status="recovered")
+    if estimated != within + recovered:
+        raise AssertionError(
+            f"estimate conservation violated: estimated {estimated:.0f} != "
+            f"within_bound {within:.0f} + recovered {recovered:.0f}")
 
 
 def check_serve_conservation(reg: MetricsRegistry) -> None:

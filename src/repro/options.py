@@ -14,21 +14,52 @@ module is the single place those choices live now:
   ``repro.multiply(A, B, options=SpGEMMOptions(algorithm="tune"))``.
 
 The legacy entry points (``repro.spgemm``, ``hash_spgemm``,
-``resilient_spgemm``) survive as thin deprecation shims that build an
-options object and defer here, so old call sites keep producing
-bit-identical results while new code migrates.
+``resilient_spgemm``) are gone: two majors after their deprecation they
+now raise :class:`~repro.errors.RemovedAPIError` with a migration
+message pointing here.  Unknown option-field names -- a keyword typo in
+:func:`multiply` or :meth:`SpGEMMOptions.evolve` -- raise a typed
+:class:`~repro.errors.OptionsError` listing the valid fields and the
+closest match.
 """
 
 from __future__ import annotations
 
+import difflib
+from collections.abc import Iterable
 from dataclasses import dataclass, field, fields, replace
+from typing import Any
 
 from repro.backend import backends, resolve_device
 from repro.base import SpGEMMAlgorithm, SpGEMMResult
+from repro.errors import OptionsError
 from repro.gpu.device import P100, DeviceSpec
 from repro.gpu.faults import FaultPlan
 from repro.sparse.csr import CSRMatrix
 from repro.types import Precision
+
+#: Valid values of :attr:`SpGEMMOptions.symbolic`.
+SYMBOLIC_MODES = ("exact", "estimate")
+
+#: Algorithm names that can host an estimated symbolic phase: the
+#: proposal itself plus the infrastructure wrappers that forward
+#: ``algo_options`` to it.  The neutral baselines have no estimator.
+_ESTIMATE_ALGORITHMS = ("proposal", "engine", "tune", "resilient", "dist")
+
+
+def _check_option_names(names: Iterable[str], *, context: str) -> None:
+    """Raise :class:`OptionsError` for unknown option-field names."""
+    valid = {f.name for f in fields(SpGEMMOptions)}
+    unknown = sorted(set(names) - valid)
+    if not unknown:
+        return
+    suggestions = []
+    for name in unknown:
+        suggestions += difflib.get_close_matches(name, sorted(valid), n=1)
+    noun = "field" if len(unknown) == 1 else "fields"
+    raise OptionsError(
+        f"unknown {context} {noun} " + ", ".join(map(repr, unknown)),
+        unknown=tuple(unknown), valid=tuple(valid),
+        suggestions=tuple(suggestions))
 
 
 @dataclass(frozen=True)
@@ -62,6 +93,16 @@ class SpGEMMOptions:
         device before running; ``tune_store`` (a
         :class:`~repro.tune.TuningStore` or a path) persists tuned
         configs across processes.
+    symbolic
+        ``'estimate'`` replaces the exact symbolic count phase with the
+        sampled estimator of :mod:`repro.estimate` (per-row nnz bounds,
+        bound-violation recovery on global tables); ``'exact'`` -- the
+        default -- keeps the paper's count kernels.  Results are
+        bit-identical either way; only modeled time and memory change.
+        Only the proposal and the wrappers around it accept it
+        (:data:`_ESTIMATE_ALGORITHMS`); the sampling knobs travel via
+        ``algo_options`` (``estimate_samples`` / ``estimate_margin`` /
+        ``estimate_seed``).
     observe
         ``observe=False`` runs every multiply unobserved: no events are
         constructed at all (the throughput fast path).  Reports keep
@@ -86,6 +127,7 @@ class SpGEMMOptions:
     tune: bool = False
     tune_store: object = None
     tune_top_k: int = 3
+    symbolic: str = "exact"
     observe: bool = True
     algo_options: dict = field(default_factory=dict)
 
@@ -97,10 +139,27 @@ class SpGEMMOptions:
             object.__setattr__(self, "devices",
                                tuple(str(d) for d in self.devices))
         object.__setattr__(self, "algo_options", dict(self.algo_options))
+        if self.symbolic not in SYMBOLIC_MODES:
+            raise OptionsError(
+                f"symbolic must be one of {list(SYMBOLIC_MODES)}, "
+                f"got {self.symbolic!r}")
 
-    def with_options(self, **changes) -> "SpGEMMOptions":
-        """A copy with the given fields replaced (frozen-friendly)."""
+    def evolve(self, **changes: Any) -> "SpGEMMOptions":
+        """A copy with the given fields replaced.
+
+        The canonical way to derive one options object from another:
+        ``replace`` on the frozen dataclass, so ``__post_init__``
+        re-normalizes and re-validates the result.  Unknown field names
+        raise :class:`~repro.errors.OptionsError` naming the valid
+        fields and the closest match (a plain ``dataclasses.replace``
+        would surface a bare ``TypeError``).
+        """
+        _check_option_names(changes, context="option")
         return replace(self, **changes)
+
+    def with_options(self, **changes: Any) -> "SpGEMMOptions":
+        """Alias of :meth:`evolve` (the pre-redesign spelling)."""
+        return self.evolve(**changes)
 
     def describe(self) -> str:
         """Compact ``field=value`` form of the non-default fields."""
@@ -129,7 +188,8 @@ class SpGEMMOptions:
                  str(self.engine), str(self.cache_budget_bytes),
                  str(self.resilient), str(self.memory_budget),
                  str(self.max_panels), str(self.devices), self.interconnect,
-                 str(self.tune), str(self.tune_top_k), str(self.observe)]
+                 str(self.tune), str(self.tune_top_k), self.symbolic,
+                 str(self.observe)]
         parts += [f"{k}={self.algo_options[k]}"
                   for k in sorted(self.algo_options)]
         return "|".join(parts)
@@ -153,9 +213,33 @@ def _fallback_chain(algorithm: str) -> tuple[str, str]:
             else ("cusparse", "proposal"))
 
 
-def _resilient_options(o: SpGEMMOptions) -> dict:
-    """Constructor kwargs for the resilience ladder under ``o``."""
+def _algo_options(o: SpGEMMOptions) -> dict:
+    """The algorithm constructor kwargs under ``o``.
+
+    A copy of ``algo_options`` with the facade's ``symbolic`` choice
+    folded in (explicit ``algo_options['symbolic']`` wins).  An
+    estimated symbolic phase on an algorithm without an estimator -- a
+    neutral baseline or a CPU algorithm -- raises
+    :class:`~repro.errors.OptionsError` instead of a constructor
+    ``TypeError`` deep in the chain.
+    """
     opts = dict(o.algo_options)
+    symbolic = opts.get("symbolic", o.symbolic)
+    if symbolic == "exact":
+        # the universal default: inject nothing, so algorithms that
+        # never heard of the estimator keep their exact signatures
+        return opts
+    if o.algorithm not in _ESTIMATE_ALGORITHMS:
+        raise OptionsError(
+            f"symbolic='estimate' is not supported by algorithm "
+            f"{o.algorithm!r} (supported: {list(_ESTIMATE_ALGORITHMS)})")
+    opts["symbolic"] = symbolic
+    return opts
+
+
+def _resilient_options(o: SpGEMMOptions, algo_opts: dict) -> dict:
+    """Constructor kwargs for the resilience ladder under ``o``."""
+    opts = dict(algo_opts)
     if o.algorithm not in ("resilient",):
         # keep the chosen algorithm first in the fallback chain
         opts.setdefault("algorithms", _fallback_chain(o.algorithm))
@@ -181,6 +265,7 @@ def runner_for(options: SpGEMMOptions) -> SpGEMMAlgorithm:
     from repro.tune.tuned import TunedSpGEMM
 
     o = options
+    algo_opts = _algo_options(o)
     # -- distributed: the driver composes engine + tuning itself --------
     if o.devices is not None:
         engine_on = True if o.engine is None else bool(o.engine)
@@ -188,16 +273,16 @@ def runner_for(options: SpGEMMOptions) -> SpGEMMAlgorithm:
         inner = "proposal" if o.algorithm == "dist" else o.algorithm
         dist_kw = dict(interconnect=o.interconnect, algorithm=inner,
                        engine=engine_on, tune=o.tune,
-                       tune_store=o.tune_store, **o.algo_options)
+                       tune_store=o.tune_store, **algo_opts)
         if isinstance(o.devices, tuple):
             pool = DevicePool.from_names(list(o.devices), algorithm=inner,
-                                         engine=engine_on, **o.algo_options)
+                                         engine=engine_on, **algo_opts)
             return DistSpGEMM(pool=pool, **dist_kw)
         return DistSpGEMM(n_devices=int(o.devices), **dist_kw)
     if o.algorithm == "dist":
         # legacy spelling: dist kwargs may live in algo_options, so the
         # facade fields only fill the gaps
-        kw = dict(o.algo_options)
+        kw = dict(algo_opts)
         kw.setdefault("interconnect", o.interconnect)
         kw.setdefault("tune", o.tune)
         kw.setdefault("tune_store", o.tune_store)
@@ -207,9 +292,10 @@ def runner_for(options: SpGEMMOptions) -> SpGEMMAlgorithm:
 
     # -- single device: resilience / engine / plain ----------------------
     if o.resilient or o.memory_budget is not None or o.algorithm == "resilient":
-        runner: SpGEMMAlgorithm = create("resilient", **_resilient_options(o))
+        runner: SpGEMMAlgorithm = create("resilient",
+                                         **_resilient_options(o, algo_opts))
     elif o.algorithm == "engine":
-        kw = dict(o.algo_options)
+        kw = dict(algo_opts)
         if o.cache_budget_bytes is not None:
             kw.setdefault("cache_budget_bytes", o.cache_budget_bytes)
         runner = SpGEMMEngine(**kw)
@@ -218,9 +304,9 @@ def runner_for(options: SpGEMMOptions) -> SpGEMMAlgorithm:
         path = o.tune_store if isinstance(o.tune_store, str) else None
         return TunedSpGEMM(engine=bool(o.engine), store=store,
                            store_path=path, top_k=o.tune_top_k,
-                           **o.algo_options)
+                           **algo_opts)
     else:
-        runner = create(o.algorithm, **o.algo_options)
+        runner = create(o.algorithm, **algo_opts)
     if o.engine and not isinstance(runner, SpGEMMEngine):
         kw = {}
         if o.cache_budget_bytes is not None:
@@ -238,7 +324,7 @@ def runner_for(options: SpGEMMOptions) -> SpGEMMAlgorithm:
 def multiply(A: CSRMatrix, B: CSRMatrix,
              options: SpGEMMOptions | None = None, *,
              matrix_name: str = "", faults: FaultPlan | None = None,
-             **option_fields) -> SpGEMMResult:
+             **option_fields: Any) -> SpGEMMResult:
     """``C = A @ B`` -- the one public entry point.
 
     Pass a ready :class:`SpGEMMOptions`, or its fields directly::
@@ -250,8 +336,13 @@ def multiply(A: CSRMatrix, B: CSRMatrix,
     deterministic :class:`~repro.gpu.faults.FaultPlan`; both are
     per-call, not per-configuration, which is why they stay out of the
     options object.
+
+    A keyword typo among the option fields raises
+    :class:`~repro.errors.OptionsError` naming the valid fields and the
+    closest match, not a bare dataclass ``TypeError``.
     """
     if options is None:
+        _check_option_names(option_fields, context="option")
         options = SpGEMMOptions(**option_fields)
     elif option_fields:
         raise TypeError(

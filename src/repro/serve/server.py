@@ -489,8 +489,8 @@ class SpGEMMServer:
         (both the dist and resilient layers preserve results exactly)."""
         budget = min(max(job.admit_estimate, 1),
                      int(opts.device.global_mem_bytes))
-        return opts.with_options(devices=None, resilient=True,
-                                 memory_budget=budget)
+        return opts.evolve(devices=None, resilient=True,
+                           memory_budget=budget)
 
     # -- completion ----------------------------------------------------------
 

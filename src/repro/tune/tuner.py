@@ -25,11 +25,18 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.core.grouping import group_rows
 from repro.core.numeric import plan_numeric
 from repro.core.params import ParamOverrides, build_group_table, pow2_floor
 from repro.core.symbolic import plan_symbolic
 from repro.errors import AlgorithmError, DeviceConfigError
+from repro.estimate import (
+    DEFAULT_MARGIN,
+    DEFAULT_SAMPLES,
+    estimate_sample_kernel,
+)
 from repro.gpu.cost import kernel_duration_alone
 from repro.gpu.device import DeviceSpec
 from repro.sparse.csr import CSRMatrix
@@ -115,11 +122,17 @@ def candidate_space(device: DeviceSpec) -> list[ParamOverrides]:
     candidate carries only its *deviations* (keeping plan-cache keys and
     store entries minimal).  ``hash_scal`` is not searched: the cost
     model is multiplier-invariant, so no candidate could win on it.
+
+    ``symbolic`` is the outermost axis: every table configuration is
+    scored under both the exact counting pass (``None``) and the sampled
+    estimator (``"estimate"``), so the tuner can trade symbolic-phase
+    time against numeric-phase over-allocation per matrix sketch.
     """
     warp = device.warp_size
     t_max = pow2_floor(max(1, device.max_shared_per_block // 12))
     threads = device.max_threads_per_block
 
+    sym_axis = [None, "estimate"]
     t_axis = [None, t_max // 2, t_max // 4]
     width_axis = [None] + [w for w in (2, 8) if 1 <= w <= warp]
     boundary_axis = [None] + [b for b in (warp // 4, warp)
@@ -128,15 +141,18 @@ def candidate_space(device: DeviceSpec) -> list[ParamOverrides]:
                              if t >= warp]
 
     out, seen = [], set()
-    for t in t_axis:
-        for w in width_axis:
-            for b in boundary_axis:
-                for bt in threads_axis:
-                    ov = ParamOverrides(t_max=t, pwarp_width=w,
-                                        pwarp_nnz_max=b, max_block_threads=bt)
-                    if ov.switches() not in seen:
-                        seen.add(ov.switches())
-                        out.append(ov)
+    for sym in sym_axis:
+        for t in t_axis:
+            for w in width_axis:
+                for b in boundary_axis:
+                    for bt in threads_axis:
+                        ov = ParamOverrides(t_max=t, pwarp_width=w,
+                                            pwarp_nnz_max=b,
+                                            max_block_threads=bt,
+                                            symbolic=sym)
+                        if ov.switches() not in seen:
+                            seen.add(ov.switches())
+                            out.append(ov)
     return out
 
 
@@ -156,6 +172,12 @@ def modeled_total(sketch: MatrixSketch, device: DeviceSpec,
                   overrides: ParamOverrides) -> float:
     """Analytic objective: modeled count+calc seconds on the sketch.
 
+    ``overrides.symbolic == "estimate"`` swaps the exact counting pass
+    for the sampled estimator: one sample kernel instead of the symbolic
+    hash pass, and numeric grouping driven by the margin-inflated bounds
+    (clamped to the product counts, assumed violation-free -- recovery
+    is a runtime event the sketch cannot predict).
+
     Returns ``inf`` for infeasible configurations, so callers can rank
     without special-casing.
     """
@@ -167,14 +189,25 @@ def modeled_total(sketch: MatrixSketch, device: DeviceSpec,
     nnz_a, nprod, nnz_out = sketch.reconstruct()
     shim = _SketchRows(nnz_a)
     try:
-        sym_groups = group_rows(nprod, table, "products")
-        num_groups = group_rows(nnz_out, table, "nnz")
-        sym = plan_symbolic(shim, sym_groups, nprod, nnz_out, device)
-        num = plan_numeric(shim, num_groups, nprod, nnz_out, p, device)
-        total = (_stream_makespan(sym.kernels, device, p)
-                 + _stream_makespan(num.kernels, device, p))
-        if sym.retry_kernel is not None:
-            total += kernel_duration_alone(sym.retry_kernel, device, p)
+        if overrides.symbolic == "estimate":
+            bounds = np.minimum(
+                np.ceil((1.0 + DEFAULT_MARGIN) * nnz_out).astype(np.int64),
+                nprod.astype(np.int64))
+            num_groups = group_rows(bounds, table, "estimate")
+            num = plan_numeric(shim, num_groups, nprod, nnz_out, p, device)
+            total = (kernel_duration_alone(
+                         estimate_sample_kernel(nnz_a, DEFAULT_SAMPLES),
+                         device, p)
+                     + _stream_makespan(num.kernels, device, p))
+        else:
+            sym_groups = group_rows(nprod, table, "products")
+            num_groups = group_rows(nnz_out, table, "nnz")
+            sym = plan_symbolic(shim, sym_groups, nprod, nnz_out, device)
+            num = plan_numeric(shim, num_groups, nprod, nnz_out, p, device)
+            total = (_stream_makespan(sym.kernels, device, p)
+                     + _stream_makespan(num.kernels, device, p))
+            if sym.retry_kernel is not None:
+                total += kernel_duration_alone(sym.retry_kernel, device, p)
     except (AlgorithmError, DeviceConfigError):
         # uncovered count range, or a kernel that exceeds a device limit
         # (e.g. a wide PWARP boundary overflowing shared memory)

@@ -87,7 +87,7 @@ class TestCuSparseStructure:
                                       rng=np.random.default_rng(77))
         cs_b = CuSparseSpGEMM().multiply(balanced, balanced).report.gflops
         cs_s = CuSparseSpGEMM().multiply(skewed, skewed).report.gflops
-        ours_s = repro.spgemm(skewed, skewed).report.gflops
+        ours_s = repro.multiply(skewed, skewed).report.gflops
         assert cs_s < cs_b           # skew hurts cuSPARSE
         assert ours_s > cs_s         # grouping recovers it
 
@@ -128,7 +128,7 @@ class TestBHSparseStructure:
 
     def test_upper_bound_allocation_exceeds_output(self, rng):
         A = GENS["power_law"](rng)
-        ours = repro.spgemm(A, A).report.peak_bytes
+        ours = repro.multiply(A, A).report.peak_bytes
         theirs = BHSparseSpGEMM().multiply(A, A).report.peak_bytes
         assert theirs > ours
 
@@ -155,7 +155,7 @@ class TestRegistry:
 
     def test_top_level_spgemm_dispatch(self, rng):
         A = GENS["stencil"](rng)
-        r = repro.spgemm(A, A, algorithm="cusp")
+        r = repro.multiply(A, A, algorithm="cusp")
         assert r.report.algorithm == "cusp"
 
     def test_algorithms_listing(self):

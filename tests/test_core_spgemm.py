@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.core.spgemm import HashSpGEMM, hash_spgemm
+from repro.core.spgemm import HashSpGEMM
 from repro.errors import DeviceMemoryError
 from repro.gpu.device import P100
 from repro.gpu.timeline import PHASES
@@ -25,7 +25,7 @@ class TestCorrectness:
     @pytest.mark.parametrize("precision", ["single", "double"])
     def test_matches_scipy(self, gen, precision, rng):
         A = GENS[gen](rng)
-        result = hash_spgemm(A, A, precision=precision)
+        result = HashSpGEMM().multiply(A, A, precision=precision)
         rtol = 1e-5 if precision == "single" else 1e-10
         assert_matches_scipy(result.matrix,
                              to_scipy(A) @ to_scipy(A), rtol=rtol)
@@ -33,22 +33,22 @@ class TestCorrectness:
     def test_rectangular(self, rng):
         A = generators.random_csr(40, 60, 5, rng=rng)
         B = generators.random_csr(60, 30, 4, rng=rng)
-        result = hash_spgemm(A, B)
+        result = HashSpGEMM().multiply(A, B)
         assert_matches_scipy(result.matrix, to_scipy(A) @ to_scipy(B))
 
     def test_empty_matrix(self):
         from repro.sparse.csr import CSRMatrix
 
         A = CSRMatrix.empty((10, 10))
-        result = hash_spgemm(A, A)
+        result = HashSpGEMM().multiply(A, A)
         assert result.matrix.nnz == 0
 
     def test_ablation_flags_do_not_change_result(self, rng):
         A = GENS["power_law"](rng)
-        base = hash_spgemm(A, A).matrix
+        base = HashSpGEMM().multiply(A, A).matrix
         for options in ({"use_streams": False}, {"use_pwarp": False},
                         {"pwarp_width": 8}):
-            other = hash_spgemm(A, A, **options).matrix
+            other = HashSpGEMM(**options).multiply(A, A).matrix
             assert other.allclose(base, rtol=1e-12)
 
 
@@ -56,7 +56,8 @@ class TestReport:
     @pytest.fixture(scope="class")
     def result(self):
         A = generators.banded(400, 12, rng=np.random.default_rng(5))
-        return hash_spgemm(A, A, precision="single", matrix_name="banded")
+        return HashSpGEMM().multiply(A, A, precision="single",
+                                      matrix_name="banded")
 
     def test_metadata(self, result):
         r = result.report
@@ -101,22 +102,22 @@ class TestAblations:
         """Section IV-C: streams give a measurable speedup when several
         groups have few rows (the Circuit experiment, x1.3)."""
         A = generators.power_law(4000, 5.0, 200, rng=rng)
-        with_streams = hash_spgemm(A, A).report.total_seconds
-        without = hash_spgemm(A, A, use_streams=False).report.total_seconds
+        with_streams = HashSpGEMM().multiply(A, A).report.total_seconds
+        without = HashSpGEMM(use_streams=False).multiply(A, A).report.total_seconds
         assert without > with_streams
 
     def test_pwarp_helps_tiny_row_matrix(self, rng):
         """Section IV-C: PWARP/ROW speeds up low-nnz/row matrices
         (the Epidemiology experiment, x3.1)."""
         A = generators.stencil_regular(40000, 4, rng=rng)
-        with_pwarp = hash_spgemm(A, A).report.total_seconds
-        without = hash_spgemm(A, A, use_pwarp=False).report.total_seconds
+        with_pwarp = HashSpGEMM().multiply(A, A).report.total_seconds
+        without = HashSpGEMM(use_pwarp=False).multiply(A, A).report.total_seconds
         assert without > 1.2 * with_pwarp
 
     def test_pwarp_width_4_beats_extremes(self, rng):
         """Section III-B: 4 threads per row is the stable sweet spot."""
         A = generators.stencil_regular(8000, 4, rng=rng)
-        times = {w: hash_spgemm(A, A, pwarp_width=w).report.total_seconds
+        times = {w: HashSpGEMM(pwarp_width=w).multiply(A, A).report.total_seconds
                  for w in (1, 4, 16)}
         assert times[4] < times[1]
         assert times[4] <= times[16] * 1.05
@@ -135,7 +136,7 @@ class TestMemoryBehaviour:
         from repro.base import RunContext  # noqa: F401  (doc reference)
 
         A = generators.banded(300, 8, rng=rng)
-        result = hash_spgemm(A, A, precision="double")
+        result = HashSpGEMM().multiply(A, A, precision="double")
         r = result.report
         expected_resident = A.device_bytes("double") \
             + result.matrix.device_bytes("double")
@@ -145,7 +146,7 @@ class TestMemoryBehaviour:
     def test_proposal_overhead_is_row_arrays(self, rng):
         """The paper: grouping arrays are the only standing overhead."""
         A = generators.stencil_regular(2000, 4, rng=rng)
-        result = hash_spgemm(A, A, precision="double")
+        result = HashSpGEMM().multiply(A, A, precision="double")
         resident = A.device_bytes("double") \
             + result.matrix.device_bytes("double")
         overhead = result.report.peak_bytes - resident

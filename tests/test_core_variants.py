@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.core.params import ASSIGN_TB, build_group_table
-from repro.core.spgemm import hash_spgemm
+from repro.core.spgemm import HashSpGEMM
 from repro.gpu.device import K40, P100, VEGA56
 from repro.sparse import generators
 
@@ -27,15 +27,16 @@ class TestUniformTB:
 
     def test_uniform_result_identical(self, rng):
         A = generators.banded(400, 12, rng=rng)
-        base = hash_spgemm(A, A).matrix
-        uni = hash_spgemm(A, A, uniform_tb=True).matrix
+        base = HashSpGEMM().multiply(A, A).matrix
+        uni = HashSpGEMM(uniform_tb=True).multiply(A, A).matrix
         assert uni.allclose(base, rtol=1e-14)
 
     def test_uniform_not_faster_on_fem_class(self, rng):
         A = generators.banded(1000, 25, rng=rng)
-        grouped = hash_spgemm(A, A, precision="single").report.total_seconds
-        uniform = hash_spgemm(A, A, precision="single",
-                              uniform_tb=True).report.total_seconds
+        grouped = HashSpGEMM().multiply(
+            A, A, precision="single").report.total_seconds
+        uniform = HashSpGEMM(uniform_tb=True).multiply(
+            A, A, precision="single").report.total_seconds
         assert uniform >= grouped * 0.99
 
 
@@ -65,15 +66,15 @@ class TestOtherDevices:
         from repro.sparse import spgemm_reference
 
         A = generators.power_law(300, 4.0, 60, rng=rng)
-        got = hash_spgemm(A, A, device=device).matrix
+        got = HashSpGEMM().multiply(A, A, device=device).matrix
         assert got.allclose(spgemm_reference(A, A), rtol=1e-10)
 
     def test_vega_double_precision_slower(self, rng):
         # Vega's 1:16 DP ratio shows in the compute component (the run is
         # still partly bandwidth-bound, so assert direction, not factor)
         A = generators.block_dense(128, 32, rng=rng)
-        s = hash_spgemm(A, A, precision="single",
-                        device=VEGA56).report.total_seconds
-        d = hash_spgemm(A, A, precision="double",
-                        device=VEGA56).report.total_seconds
+        s = HashSpGEMM().multiply(A, A, precision="single",
+                                  device=VEGA56).report.total_seconds
+        d = HashSpGEMM().multiply(A, A, precision="double",
+                                  device=VEGA56).report.total_seconds
         assert d > s

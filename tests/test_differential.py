@@ -54,7 +54,7 @@ def _check(algo: str, A: CSRMatrix, B: CSRMatrix | None = None,
            precision: str = "double") -> None:
     B = A if B is None else B
     ref = spgemm_reference(A, B)
-    got = repro.spgemm(A, B, algorithm=algo, precision=precision).matrix
+    got = repro.multiply(A, B, algorithm=algo, precision=precision).matrix
     rtol = 1e-9 if precision == "double" else 1e-4
     assert got.canonicalize().allclose(ref, rtol=rtol), \
         f"{algo} diverges from reference on {A.shape}"
@@ -76,7 +76,7 @@ def test_matches_reference_corpus(algo, gen, rng):
 @pytest.mark.parametrize("algo", ALL_ALGOS)
 def test_single_precision(algo, rng):
     A = CORPUS["band"](rng)
-    result = repro.spgemm(A, A, algorithm=algo, precision="single")
+    result = repro.multiply(A, A, algorithm=algo, precision="single")
     assert result.matrix.dtype == np.float32
     _check(algo, A, precision="single")
 
@@ -94,7 +94,7 @@ def test_rectangular(algo, rng):
                                                           "engine", "tune"}))
 def test_report_flops_metric(algo, rng):
     A = generators.stencil_regular(300, 4, rng=rng)
-    r = repro.spgemm(A, A, algorithm=algo).report
+    r = repro.multiply(A, A, algorithm=algo).report
     assert r.algorithm == algo
     assert r.flops == 2 * r.n_products
     assert r.total_seconds > 0

@@ -40,7 +40,7 @@ SETTINGS = settings(max_examples=30, deadline=None,
 def dist_vs_single(A, B=None, *, precision="single", n_devices=3, **kw):
     """Run both paths and return (single result, dist result)."""
     B = A if B is None else B
-    single = repro.spgemm(A, B, algorithm="proposal", precision=precision)
+    single = repro.multiply(A, B, algorithm="proposal", precision=precision)
     dist = DistSpGEMM(n_devices=n_devices, **kw)
     return single, dist.multiply(A, B, precision=precision)
 
@@ -206,7 +206,7 @@ class TestBitIdentity:
     def test_heterogeneous_pool(self):
         A = generators.banded(250, 12, rng=5)
         pool = DevicePool.from_names(["P100", "K40", "VEGA56"])
-        single = repro.spgemm(A, A, precision="single")
+        single = repro.multiply(A, A, precision="single")
         dist = DistSpGEMM(pool=pool, interconnect="nvlink")
         assert_same_matrix(single.matrix,
                            dist.multiply(A, A, precision="single").matrix)
@@ -228,7 +228,7 @@ class TestBitIdentity:
 class TestDeviceLoss:
     def test_loss_preserves_result_and_reports(self):
         A = generators.banded(300, 12, rng=8)
-        single = repro.spgemm(A, A, precision="single")
+        single = repro.multiply(A, A, precision="single")
         dist = DistSpGEMM(n_devices=4)
         faults = FaultPlan().fail_device("dev1")
         res = dist.multiply(A, A, precision="single", faults=faults)
@@ -276,7 +276,7 @@ class TestDeviceLoss:
 class TestCommFaults:
     def test_transient_comm_fault_retried_once(self):
         A = generators.banded(200, 10, rng=21)
-        single = repro.spgemm(A, A, precision="single")
+        single = repro.multiply(A, A, precision="single")
         dist = DistSpGEMM(n_devices=3)
         faults = FaultPlan().fail_comm("dev1", times=1)
         res = dist.multiply(A, A, precision="single", faults=faults)
@@ -294,7 +294,7 @@ class TestCommFaults:
 
     def test_persistent_comm_fault_escalates_to_loss(self):
         A = generators.banded(200, 10, rng=22)
-        single = repro.spgemm(A, A, precision="single")
+        single = repro.multiply(A, A, precision="single")
         dist = DistSpGEMM(n_devices=3)
         faults = FaultPlan().fail_comm("dev1", times=2)
         res = dist.multiply(A, A, precision="single", faults=faults)

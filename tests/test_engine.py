@@ -44,7 +44,7 @@ class TestReplayFidelity:
     @pytest.mark.parametrize("gen", sorted(CORPUS))
     def test_hit_bit_identical_to_cold(self, gen, rng):
         A = CORPUS[gen](rng)
-        cold = repro.spgemm(A, A).matrix
+        cold = repro.multiply(A, A).matrix
         eng = SpGEMMEngine("proposal")
         first = eng.multiply(A, A)
         second = eng.multiply(A, A)
@@ -69,7 +69,7 @@ class TestReplayFidelity:
         A2 = CSRMatrix(A.rpt, A.col, A.val * 2.0, A.shape, check=False)
         hit = eng.multiply(A2, A2)
         assert eng.stats().hits == 1
-        ref = repro.spgemm(A2, A2).matrix
+        ref = repro.multiply(A2, A2).matrix
         assert np.array_equal(hit.matrix.val, ref.val)
 
     def test_precision_and_device_partition_the_key(self, A):
@@ -217,7 +217,7 @@ class TestObservability:
         assert hit.value("plan_cache_saved_seconds_total") > 0
         assert hit.value("run_info", stat="numeric_only") == 1.0
         # cold reports carry no cache metric families at all (goldens)
-        assert "plan_cache_events_total" not in repro.spgemm(
+        assert "plan_cache_events_total" not in repro.multiply(
             A, A).report.metrics()
 
     def test_engine_metrics_registry(self, A):
@@ -246,7 +246,7 @@ class TestObservability:
         assert "[plan_cache]" in text and "cache_hit" in text
         # cold runs keep the pre-engine summary layout byte-compatible
         assert "[plan_cache]" not in trace_summary(
-            repro.spgemm(A, A).report)
+            repro.multiply(A, A).report)
 
 
 class TestBatch:
@@ -260,7 +260,7 @@ class TestBatch:
         assert [r.report.matrix for r in results] \
             == [f"m{i}" for i in range(4)] * 2
         for i, m in enumerate(mats):
-            ref = repro.spgemm(m, m).matrix
+            ref = repro.multiply(m, m).matrix
             for r in (results[i], results[i + 4]):
                 assert np.array_equal(r.matrix.val, ref.val)
         assert eng.batch_jobs == 8
@@ -286,9 +286,9 @@ class TestIntegration:
     def test_registry_and_top_level_dispatch(self, A):
         eng = repro.algorithms()["engine"]
         assert eng is SpGEMMEngine
-        result = repro.spgemm(A, A, algorithm="engine")
+        result = repro.multiply(A, A, algorithm="engine")
         assert result.matrix.canonicalize().allclose(
-            repro.spgemm(A, A).matrix)
+            repro.multiply(A, A).matrix)
 
     def test_disabled_engine_passes_through(self, A):
         eng = SpGEMMEngine("proposal", enabled=False)

@@ -17,7 +17,7 @@ class TestCrossAlgorithmEquivalence:
     @pytest.mark.parametrize("name", ["Epidemiology", "webbase", "Circuit"])
     def test_on_dataset_analogues(self, name):
         A = get_dataset(name).matrix()
-        results = {a: repro.spgemm(A, A, algorithm=a, precision="double",
+        results = {a: repro.multiply(A, A, algorithm=a, precision="double",
                                    matrix_name=name) for a in ALGS}
         base = results["proposal"].matrix
         for a in ALGS:
@@ -30,10 +30,10 @@ class TestCrossAlgorithmEquivalence:
     def test_chained_power(self, rng):
         """A^4 via two rounds of squaring, each with a different algorithm."""
         A = generators.banded(150, 6, rng=rng)
-        a2 = repro.spgemm(A, A, algorithm="proposal").matrix
-        a4_hash = repro.spgemm(a2, a2, algorithm="proposal").matrix
-        b2 = repro.spgemm(A, A, algorithm="cusp").matrix
-        a4_esc = repro.spgemm(b2, b2, algorithm="bhsparse").matrix
+        a2 = repro.multiply(A, A, algorithm="proposal").matrix
+        a4_hash = repro.multiply(a2, a2, algorithm="proposal").matrix
+        b2 = repro.multiply(A, A, algorithm="cusp").matrix
+        a4_esc = repro.multiply(b2, b2, algorithm="bhsparse").matrix
         assert a4_hash.allclose(a4_esc, rtol=1e-10)
         ref = spgemm_reference(spgemm_reference(A, A), spgemm_reference(A, A))
         assert a4_hash.allclose(ref, rtol=1e-10)
@@ -42,8 +42,8 @@ class TestCrossAlgorithmEquivalence:
         A = generators.random_csr(40, 80, 4, rng=rng)
         B = generators.random_csr(80, 25, 5, rng=rng)
         Cc = generators.random_csr(25, 60, 3, rng=rng)
-        ab = repro.spgemm(A, B, algorithm="proposal").matrix
-        abc = repro.spgemm(ab, Cc, algorithm="cusparse").matrix
+        ab = repro.multiply(A, B, algorithm="proposal").matrix
+        abc = repro.multiply(ab, Cc, algorithm="cusparse").matrix
         ref = spgemm_reference(spgemm_reference(A, B), Cc)
         assert abc.allclose(ref, rtol=1e-10)
 
@@ -52,8 +52,8 @@ class TestPrecisionBehaviour:
     @pytest.mark.parametrize("algorithm", ALGS)
     def test_double_slower_but_equal_structure(self, algorithm, rng):
         A = generators.banded(600, 18, rng=rng)
-        s = repro.spgemm(A, A, algorithm=algorithm, precision="single")
-        d = repro.spgemm(A, A, algorithm=algorithm, precision="double")
+        s = repro.multiply(A, A, algorithm=algorithm, precision="single")
+        d = repro.multiply(A, A, algorithm=algorithm, precision="double")
         np.testing.assert_array_equal(s.matrix.rpt, d.matrix.rpt)
         np.testing.assert_array_equal(s.matrix.col, d.matrix.col)
         assert d.report.total_seconds > s.report.total_seconds
@@ -68,23 +68,23 @@ class TestDeviceSweep:
         A = generators.banded(800, 20, rng=rng)
         half = dataclasses.replace(repro.P100, name="HalfP100", sm_count=28)
         for algorithm in ALGS:
-            full_t = repro.spgemm(A, A, algorithm=algorithm,
+            full_t = repro.multiply(A, A, algorithm=algorithm,
                                   device=repro.P100).report.total_seconds
-            half_t = repro.spgemm(A, A, algorithm=algorithm,
+            half_t = repro.multiply(A, A, algorithm=algorithm,
                                   device=half).report.total_seconds
             assert half_t > full_t, algorithm
 
     def test_k40_runs_and_is_slower(self, rng):
         A = generators.banded(800, 20, rng=rng)
-        p100 = repro.spgemm(A, A, device=repro.P100).report
-        k40 = repro.spgemm(A, A, device=repro.K40).report
+        p100 = repro.multiply(A, A, device=repro.P100).report
+        k40 = repro.multiply(A, A, device=repro.K40).report
         assert k40.total_seconds > p100.total_seconds
         assert k40.device == repro.K40.name
 
     def test_results_independent_of_device(self, rng):
         A = generators.power_law(300, 4.0, 50, rng=rng)
-        a = repro.spgemm(A, A, device=repro.P100).matrix
-        b = repro.spgemm(A, A, device=repro.K40).matrix
+        a = repro.multiply(A, A, device=repro.P100).matrix
+        b = repro.multiply(A, A, device=repro.K40).matrix
         assert a.allclose(b, rtol=1e-14)
 
 
@@ -95,14 +95,14 @@ class TestEdgeCases:
                       np.array([1.0, 2.0]), (1, 2))
         B = CSRMatrix(np.array([0, 1, 2]), np.array([0, 0]),
                       np.array([3.0, 4.0]), (2, 1))
-        got = repro.spgemm(A, B, algorithm=algorithm).matrix
+        got = repro.multiply(A, B, algorithm=algorithm).matrix
         assert got.to_dense()[0, 0] == 11.0
 
     @pytest.mark.parametrize("algorithm", ALGS)
     def test_diagonal_square(self, algorithm):
         D = CSRMatrix.identity(50)
         D.val[:] = 3.0
-        got = repro.spgemm(D, D, algorithm=algorithm).matrix
+        got = repro.multiply(D, D, algorithm=algorithm).matrix
         np.testing.assert_allclose(np.diag(got.to_dense()), 9.0)
 
     @pytest.mark.parametrize("algorithm", ALGS)
@@ -110,7 +110,7 @@ class TestEdgeCases:
         dense = np.zeros((30, 30))
         dense[::3, 1::4] = rng.random((10, 8))
         A = CSRMatrix.from_dense(dense)
-        got = repro.spgemm(A, A, algorithm=algorithm).matrix
+        got = repro.multiply(A, A, algorithm=algorithm).matrix
         np.testing.assert_allclose(got.to_dense(), dense @ dense,
                                    rtol=1e-10, atol=1e-12)
 
@@ -121,7 +121,7 @@ class TestEdgeCases:
         dense = np.eye(n)
         dense[7, :] = 1.0
         A = CSRMatrix.from_dense(dense)
-        got = repro.spgemm(A, A, algorithm=algorithm).matrix
+        got = repro.multiply(A, A, algorithm=algorithm).matrix
         np.testing.assert_allclose(got.to_dense(), dense @ dense)
 
     def test_mtx_round_trip_through_spgemm(self, tmp_path, rng):
@@ -130,7 +130,7 @@ class TestEdgeCases:
         A = generators.banded(100, 8, rng=rng)
         write_matrix_market(tmp_path / "a.mtx", A)
         back = read_matrix_market(tmp_path / "a.mtx")
-        got = repro.spgemm(back, back).matrix
+        got = repro.multiply(back, back).matrix
         assert got.allclose(spgemm_reference(A, A), rtol=1e-10)
 
 
@@ -139,13 +139,13 @@ class TestReportsAreComparable:
 
     def test_same_products_across_algorithms(self, rng):
         A = generators.power_law(500, 4.0, 60, rng=rng)
-        products = {a: repro.spgemm(A, A, algorithm=a).report.n_products
+        products = {a: repro.multiply(A, A, algorithm=a).report.n_products
                     for a in ALGS}
         assert len(set(products.values())) == 1
 
     def test_gflops_ordering_is_time_ordering(self, rng):
         A = generators.banded(500, 14, rng=rng)
-        reports = [repro.spgemm(A, A, algorithm=a).report for a in ALGS]
+        reports = [repro.multiply(A, A, algorithm=a).report for a in ALGS]
         by_time = sorted(reports, key=lambda r: r.total_seconds)
         by_gflops = sorted(reports, key=lambda r: -r.gflops)
         assert [r.algorithm for r in by_time] == \

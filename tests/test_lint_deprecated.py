@@ -1,9 +1,11 @@
-"""The deprecated-entry-point lint: clean tree, and it actually bites.
+"""The removed-entry-point lint: clean tree, and it actually bites.
 
-``tools/check_deprecated.py`` is the CI step that keeps internal code on
-``repro.multiply``; this suite runs it against the real tree (must be
-clean) and against a synthetic tree with violations (must flag exactly
-the calls, not the ``def`` lines, doc spellings or comments).
+``tools/check_deprecated.py`` is the CI step that keeps repo code on
+``repro.multiply`` now that the legacy shims raise ``RemovedAPIError``;
+this suite runs it against the real tree -- ``src/repro`` *and*
+``tests`` (must be clean) -- and against synthetic trees with
+violations (must flag exactly the calls, not the ``def`` lines, doc
+spellings or comments).
 """
 
 from __future__ import annotations
@@ -32,6 +34,15 @@ def test_lint_flags_real_calls(tmp_path):
     hits = check_deprecated.offending_lines(tmp_path)
     assert len(hits) == 3
     assert all(h.startswith("src/repro/sub/bad.py") for h in hits)
+
+
+def test_lint_scans_tests_tree(tmp_path):
+    tdir = tmp_path / "tests"
+    tdir.mkdir(parents=True)
+    (tdir / "test_bad.py").write_text("r = hash_spgemm(A, B)\n")
+    hits = check_deprecated.offending_lines(tmp_path)
+    assert len(hits) == 1
+    assert hits[0].startswith("tests/test_bad.py")
 
 
 def test_lint_skips_defs_docs_comments_and_allowlist(tmp_path):

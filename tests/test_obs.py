@@ -120,7 +120,7 @@ class TestMetricsRegistry:
 
 def _run(algo="proposal", gen=None, **kw):
     A = gen if gen is not None else generators.banded(120, 8, rng=7)
-    return repro.spgemm(A, A, algorithm=algo, **kw)
+    return repro.multiply(A, A, algorithm=algo, **kw)
 
 
 class TestReportMetrics:
@@ -158,14 +158,14 @@ class TestReportMetrics:
         plan = FaultPlan()
         plan.fail_alloc(name="C")     # one-shot: the retry rung succeeds
         A = generators.power_law(200, 6.0, 150, rng=3)
-        result = repro.spgemm(A, A, algorithm="resilient", faults=plan)
+        result = repro.multiply(A, A, algorithm="resilient", faults=plan)
         m = metrics_from_report(result.report)
         assert m.total("resilience_attempts_total", ok="False") == 1
         assert m.total("resilience_attempts_total", ok="True") == 1
 
     def test_resilience_attempts_metric(self):
         A = generators.power_law(200, 6.0, 80, rng=3)
-        result = repro.spgemm(A, A, algorithm="resilient",
+        result = repro.multiply(A, A, algorithm="resilient",
                               memory_budget=1 << 16)
         m = metrics_from_report(result.report)
         assert m.value("resilience_attempts_total", algorithm="proposal",
@@ -231,18 +231,19 @@ class TestConservationProperties:
     @given(square_csr(max_dim=16, max_nnz=50),
            st.sampled_from(sorted(ALGORITHMS)))
     def test_conservation_all_algorithms(self, A, algo):
-        result = repro.spgemm(A, A, algorithm=algo)
+        result = repro.multiply(A, A, algorithm=algo)
         check_conservation(result.report)
 
     @SETTINGS
     @given(square_csr(max_dim=14, max_nnz=40))
     def test_conservation_single_precision(self, A):
-        check_conservation(repro.spgemm(A, A, precision="single").report)
+        check_conservation(repro.multiply(A, A, precision="single").report)
 
     @SETTINGS
     @given(square_csr(max_dim=14, max_nnz=40))
     def test_conservation_serial_streams(self, A):
-        result = repro.spgemm(A, A, use_streams=False)
+        result = repro.multiply(A, A,
+                                algo_options={"use_streams": False})
         check_conservation(result.report)
 
     def test_conservation_after_abort(self):
@@ -258,7 +259,7 @@ class TestConservationProperties:
 
     def test_conservation_under_panel_chunking(self):
         A = generators.power_law(200, 6.0, 80, rng=3)
-        result = repro.spgemm(A, A, algorithm="resilient",
+        result = repro.multiply(A, A, algorithm="resilient",
                               memory_budget=1 << 16)
         assert result.report.algorithm.endswith("panels")
         check_conservation(result.report)

@@ -1,10 +1,11 @@
-"""The unified facade: SpGEMMOptions, repro.multiply and the shims.
+"""The unified facade: SpGEMMOptions, repro.multiply and evolve().
 
-Pins the API-redesign contract: the options path produces bit-identical
-results to the legacy kwarg spellings for every registered algorithm,
-the legacy entry points emit :class:`DeprecationWarning` (and nothing
-else changes), and the facade composes engine / resilience /
-distribution / tuning the same way the dedicated constructors do.
+Pins the API-redesign contract: the options path works for every
+registered algorithm, the removed legacy entry points raise
+:class:`RemovedAPIError` with a migration message, unknown option-field
+names raise a typed :class:`OptionsError` naming the closest match, and
+the facade composes engine / resilience / distribution / tuning the
+same way the dedicated constructors do.
 """
 
 from __future__ import annotations
@@ -17,6 +18,7 @@ from repro import SpGEMMOptions, multiply, runner_for
 from repro.baselines.registry import ALGORITHMS
 from repro.core.resilient import ResilientSpGEMM, resilient_spgemm
 from repro.core.spgemm import HashSpGEMM, hash_spgemm
+from repro.errors import OptionsError, RemovedAPIError
 from repro.dist import DistSpGEMM
 from repro.engine import SpGEMMEngine
 from repro.errors import UnknownAlgorithmError
@@ -36,15 +38,7 @@ def _same(r1, r2, rtol=1e-12):
     np.testing.assert_allclose(a.val, b.val, rtol=rtol)
 
 
-# -- options path == legacy path, per algorithm -----------------------------
-
-@pytest.mark.parametrize("name", sorted(ALGORITHMS))
-def test_options_round_trip_bit_identical(A, name):
-    via_options = multiply(A, A, options=SpGEMMOptions(algorithm=name))
-    with pytest.warns(DeprecationWarning):
-        via_legacy = repro.spgemm(A, A, algorithm=name)
-    _same(via_options, via_legacy)
-
+# -- the one entry point, per algorithm -------------------------------------
 
 @pytest.mark.parametrize("name", sorted(ALGORITHMS))
 def test_multiply_works_for_every_registered_algorithm(A, name):
@@ -64,31 +58,61 @@ def test_options_and_fields_together_is_an_error(A):
         multiply(A, A, options=SpGEMMOptions(), algorithm="cusp")
 
 
-# -- deprecation shims ------------------------------------------------------
+# -- removed legacy entry points --------------------------------------------
 
-def test_spgemm_shim_warns_and_matches(A):
-    with pytest.warns(DeprecationWarning, match="repro.multiply"):
-        legacy = repro.spgemm(A, A)
-    _same(legacy, multiply(A, A))
-
-
-def test_spgemm_with_options_does_not_warn(A, recwarn):
-    res = repro.spgemm(A, A, options=SpGEMMOptions(algorithm="cusparse"))
-    assert not [w for w in recwarn.list
-                if issubclass(w.category, DeprecationWarning)]
-    assert res.report.algorithm == "cusparse"
+def test_spgemm_raises_removed_api_error(A):
+    with pytest.raises(RemovedAPIError, match="repro.multiply"):
+        repro.spgemm(A, A)
+    with pytest.raises(RemovedAPIError):
+        repro.spgemm(A, A, options=SpGEMMOptions(algorithm="cusparse"))
 
 
-def test_hash_spgemm_shim_warns_and_matches(A):
-    with pytest.warns(DeprecationWarning, match="deprecated"):
-        legacy = hash_spgemm(A, A)
-    _same(legacy, multiply(A, A))
+def test_hash_spgemm_raises_removed_api_error(A):
+    with pytest.raises(RemovedAPIError, match="repro.multiply") as ei:
+        hash_spgemm(A, A)
+    assert ei.value.name == "hash_spgemm()"
+    assert "HashSpGEMM" in ei.value.replacement
 
 
-def test_resilient_spgemm_shim_warns_and_matches(A):
-    with pytest.warns(DeprecationWarning, match="deprecated"):
-        legacy = resilient_spgemm(A, A)
-    _same(legacy, multiply(A, A, options=SpGEMMOptions(resilient=True)))
+def test_resilient_spgemm_raises_removed_api_error(A):
+    with pytest.raises(RemovedAPIError, match="resilient=True"):
+        resilient_spgemm(A, A)
+
+
+# -- evolve + typed option errors -------------------------------------------
+
+def test_evolve_replaces_and_revalidates():
+    o = SpGEMMOptions()
+    o2 = o.evolve(algorithm="cusp", symbolic="estimate")
+    assert o2.algorithm == "cusp" and o2.symbolic == "estimate"
+    assert o.algorithm == "proposal" and o.symbolic == "exact"
+    # evolve re-runs __post_init__ normalization
+    o3 = o.evolve(precision="single", devices=["P100", "K40"])
+    assert o3.precision is repro.Precision.SINGLE
+    assert o3.devices == ("P100", "K40")
+
+
+def test_evolve_unknown_field_raises_options_error():
+    with pytest.raises(OptionsError, match="symbolic") as ei:
+        SpGEMMOptions().evolve(symblic="estimate")
+    assert ei.value.unknown == ("symblic",)
+    assert ei.value.suggestions == ("symbolic",)
+    assert "algorithm" in ei.value.valid
+
+
+def test_multiply_unknown_field_raises_options_error(A):
+    with pytest.raises(OptionsError, match="algorithm"):
+        multiply(A, A, algoritm="cusparse")
+
+
+def test_invalid_symbolic_mode_raises_options_error():
+    with pytest.raises(OptionsError, match="symbolic"):
+        SpGEMMOptions(symbolic="guess")
+
+
+def test_estimate_on_neutral_baseline_raises_options_error(A):
+    with pytest.raises(OptionsError, match="cusp"):
+        multiply(A, A, algorithm="cusp", symbolic="estimate")
 
 
 # -- runner composition -----------------------------------------------------

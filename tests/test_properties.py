@@ -103,10 +103,10 @@ class TestSpGEMMProperties:
     @SETTINGS
     @given(square_csr(max_dim=14, max_nnz=40))
     def test_hash_algorithm_equals_reference(self, A):
-        from repro.core.spgemm import hash_spgemm
+        from repro.core.spgemm import HashSpGEMM
 
         ref = spgemm_reference(A, A)
-        got = hash_spgemm(A, A).matrix
+        got = HashSpGEMM().multiply(A, A).matrix
         assert got.allclose(ref, rtol=1e-9)
 
     @SETTINGS
@@ -295,7 +295,7 @@ class TestResilienceLadderProperties:
         from repro.sparse import generators
 
         A = generators.rmat(7, 4, rng=3)
-        r = repro.spgemm(A, A, algorithm="resilient",
+        r = repro.multiply(A, A, algorithm="resilient",
                          faults=FaultPlan().fail_alloc(index=3))
         rep = r.resilience
         assert rep is not None and rep.recovered

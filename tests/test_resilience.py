@@ -87,17 +87,17 @@ def square():
 @pytest.mark.faults
 class TestLadder:
     def test_clean_run_has_no_degradation(self, square):
-        r = repro.spgemm(square, square, algorithm="resilient")
+        r = repro.multiply(square, square, algorithm="resilient")
         rep = r.resilience
         assert rep is not None and not rep.recovered
         assert rep.final_strategy == "plain" and rep.faults_seen == 0
         assert "no degradation needed" in rep.summary()
-        plain = repro.spgemm(square, square, algorithm="proposal")
+        plain = repro.multiply(square, square, algorithm="proposal")
         assert r.matrix.allclose(plain.matrix)
         assert r.resilience and plain.resilience is None
 
     def test_transient_fault_recovers_by_retry(self, square):
-        r = repro.spgemm(square, square, algorithm="resilient",
+        r = repro.multiply(square, square, algorithm="resilient",
                          faults=FaultPlan().fail_alloc(index=3))
         rep = r.resilience
         assert rep.recovered and rep.final_strategy == "retry"
@@ -106,14 +106,14 @@ class TestLadder:
 
     def test_budget_squeeze_recovers_by_panels(self, square):
         ref = spgemm_reference(square, square)
-        plain = repro.spgemm(square, square, algorithm="proposal")
+        plain = repro.multiply(square, square, algorithm="proposal")
         budget = int(0.7 * plain.report.peak_bytes)
 
         with pytest.raises(DeviceMemoryError):
-            repro.spgemm(square, square, algorithm="proposal",
+            repro.multiply(square, square, algorithm="proposal",
                          device=P100.with_memory(budget))
 
-        r = repro.spgemm(square, square, algorithm="resilient",
+        r = repro.multiply(square, square, algorithm="resilient",
                          memory_budget=budget)
         rep = r.resilience
         assert rep.recovered and rep.final_strategy == "panels"
@@ -124,7 +124,7 @@ class TestLadder:
         assert r.report.n_products == plain.report.n_products
 
     def test_persistent_kernel_fault_falls_back_to_cusparse(self, square):
-        r = repro.spgemm(square, square, algorithm="resilient",
+        r = repro.multiply(square, square, algorithm="resilient",
                          faults=FaultPlan().fail_hash_table("symbolic",
                                                             times=None))
         rep = r.resilience
@@ -133,7 +133,7 @@ class TestLadder:
 
     def test_total_failure_reraises_with_report(self, square):
         with pytest.raises(HashTableError) as exc:
-            repro.spgemm(square, square, algorithm="resilient",
+            repro.multiply(square, square, algorithm="resilient",
                          faults=FaultPlan().fail_hash_table(".*", times=None))
         rep = exc.value.resilience
         assert rep is not None and not rep.recovered
@@ -151,7 +151,7 @@ def test_table3_analogue_recovery_under_pressure():
 
     ds = get_dataset("cit-Patents")
     A = ds.matrix()
-    plain = repro.spgemm(A, A, algorithm="proposal", precision="single")
+    plain = repro.multiply(A, A, algorithm="proposal", precision="single")
     budget = int(0.7 * plain.report.peak_bytes)
     squeezed = P100.with_memory(budget)
 
@@ -162,17 +162,17 @@ def test_table3_analogue_recovery_under_pressure():
     assert r.resilience.final_strategy == "panels"
     assert max(r.resilience.panel_peaks) <= budget
 
-    res = repro.spgemm(A, A, algorithm="resilient", precision="single",
+    res = repro.multiply(A, A, algorithm="resilient", precision="single",
                        memory_budget=budget)
     assert res.matrix.allclose(plain.matrix)
 
 
 class TestReportMerging:
     def test_merged_report_is_coherent(self, square):
-        plain = repro.spgemm(square, square, algorithm="proposal")
-        r = repro.spgemm(square, square, algorithm="resilient",
-                         initial_panels=4,
-                         memory_budget=int(0.7 * plain.report.peak_bytes))
+        plain = repro.multiply(square, square, algorithm="proposal")
+        r = repro.multiply(square, square, algorithm="resilient",
+                           algo_options={"initial_panels": 4},
+                           memory_budget=int(0.7 * plain.report.peak_bytes))
         rep = r.report
         assert rep.n_products == plain.report.n_products
         assert rep.nnz_out == plain.report.nnz_out

@@ -1,13 +1,14 @@
 #!/usr/bin/env python3
-"""Fail CI when internal code calls a deprecated SpGEMM entry point.
+"""Fail CI when repo code calls a removed SpGEMM entry point.
 
 The legacy entry points -- ``repro.spgemm()``, ``hash_spgemm()`` and
-``resilient_spgemm()`` -- survive as :class:`DeprecationWarning` shims
-for external callers, but nothing *inside* ``src/repro`` may call them:
-internal code goes through ``repro.multiply`` and
-:class:`~repro.options.SpGEMMOptions`.  This is a line-level grep, not
-an import analysis, so it is fast, dependency-free and easy to reason
-about; the allowlist names the files that define or re-export the shims.
+``resilient_spgemm()`` -- were :class:`DeprecationWarning` shims for two
+majors and now raise :class:`~repro.errors.RemovedAPIError`.  Nothing in
+``src/repro`` *or* ``tests`` may call them: all code goes through
+``repro.multiply`` and :class:`~repro.options.SpGEMMOptions`.  This is a
+line-level grep, not an import analysis, so it is fast, dependency-free
+and easy to reason about; the allowlist names the files that define the
+raising stubs or assert that they raise.
 
 Usage::
 
@@ -22,35 +23,45 @@ import re
 import sys
 from pathlib import Path
 
-#: Call sites of the deprecated entry points.  The lookbehinds skip
+#: Call sites of the removed entry points.  The lookbehinds skip
 #: ``def`` lines and doc spellings like ````spgemm(...)```` (preceded by
 #: a backtick) or attribute tails already matched with their prefix.
 DEPRECATED_CALLS = re.compile(
     r"(?<!def )(?<![`.\w])"
     r"(repro\.spgemm|hash_spgemm|resilient_spgemm|spgemm)\s*\(")
 
-#: Files that define, re-export or document the shims themselves.
+#: Trees scanned relative to the repo root.
+SCAN_TREES = (("src", "repro"), ("tests",))
+
+#: Files that define the raising stubs, re-export them, or test that
+#: they raise (including this lint's own fixture strings).
 ALLOWLIST = {
     "src/repro/__init__.py",
     "src/repro/core/__init__.py",
     "src/repro/core/spgemm.py",
     "src/repro/core/resilient.py",
     "src/repro/options.py",
+    "tests/test_options.py",
+    "tests/test_lint_deprecated.py",
 }
 
 
 def offending_lines(root: Path) -> list[str]:
-    """Every ``file:line: text`` hit under ``root``'s src/repro tree."""
+    """Every ``file:line: text`` hit under ``root``'s scanned trees."""
     hits: list[str] = []
-    for path in sorted((root / "src" / "repro").rglob("*.py")):
-        rel = path.relative_to(root).as_posix()
-        if rel in ALLOWLIST:
+    for parts in SCAN_TREES:
+        tree = root.joinpath(*parts)
+        if not tree.is_dir():
             continue
-        for lineno, line in enumerate(
-                path.read_text(encoding="utf-8").splitlines(), start=1):
-            code = line.split("#", 1)[0]
-            if DEPRECATED_CALLS.search(code):
-                hits.append(f"{rel}:{lineno}: {line.strip()}")
+        for path in sorted(tree.rglob("*.py")):
+            rel = path.relative_to(root).as_posix()
+            if rel in ALLOWLIST:
+                continue
+            for lineno, line in enumerate(
+                    path.read_text(encoding="utf-8").splitlines(), start=1):
+                code = line.split("#", 1)[0]
+                if DEPRECATED_CALLS.search(code):
+                    hits.append(f"{rel}:{lineno}: {line.strip()}")
     return hits
 
 
@@ -60,11 +71,11 @@ def main(argv: list[str]) -> int:
     for h in hits:
         print(f"DEPRECATED CALL: {h}", file=sys.stderr)
     if hits:
-        print(f"{len(hits)} internal call(s) to deprecated entry points; "
+        print(f"{len(hits)} call(s) to removed entry points; "
               "use repro.multiply(A, B, options=SpGEMMOptions(...))",
               file=sys.stderr)
         return 1
-    print("no internal calls to deprecated entry points")
+    print("no calls to removed entry points")
     return 0
 
 
